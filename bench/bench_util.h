@@ -1,0 +1,43 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every fig*_ binary prints a self-describing header (which figure of the
+// paper it regenerates, with the parameters) followed by CSV rows, so the
+// output can be piped into any plotting tool.
+//
+// Simulation-backed figures accept the environment variable
+// PERFORMA_BENCH_SCALE (default 1): cycles and replications are multiplied
+// by it. Scale 10 reproduces the paper's 2e5-cycle / 10-replication runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace performa::bench {
+
+/// Multiplier for simulation effort (cycles, replications).
+inline double scale_factor() {
+  const char* env = std::getenv("PERFORMA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  return static_cast<std::size_t>(static_cast<double>(base) * scale_factor());
+}
+
+/// Print the standard experiment banner.
+inline void banner(const char* figure, const char* title,
+                   const char* params) {
+  std::printf("# %s -- %s\n", figure, title);
+  std::printf("# paper: Schwefel & Antonios, \"Performability Models for "
+              "Multi-Server Systems with High-Variance Repair Durations\", "
+              "DSN 2007\n");
+  std::printf("# parameters: %s\n", params);
+  if (scale_factor() != 1.0) {
+    std::printf("# PERFORMA_BENCH_SCALE=%g\n", scale_factor());
+  }
+}
+
+}  // namespace performa::bench

@@ -1,0 +1,64 @@
+// Extension 5: validation of the paper's QoS mapping
+//   Pr(S > d) ~ Pr(Q > d * nu_bar)
+// (Sec. 2.2). The analytic queue-tail approximation is compared against
+// sojourn times measured in the multiprocessor simulation, at a
+// utilization in the intermediate region and one in the blow-up region.
+//
+// Expected shape: agreement within a small factor over the whole range of
+// deadlines, including the power-law stretch -- the approximation links
+// delay-bound QoS directly to the blow-up analysis.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cluster_model.h"
+#include "core/qos.h"
+#include "sim/cluster_sim.h"
+
+using namespace performa;
+
+int main() {
+  bench::banner("Extension (Sec. 2.2)",
+                "delay-bound QoS: queue-tail approximation vs simulation",
+                "N=2, nu_p=2, delta=0.2, UP=exp(90), DOWN=TPT(T=5, "
+                "alpha=1.4, theta=0.5, mean=10)");
+
+  core::ClusterParams p;
+  p.down = medist::make_tpt(medist::TptSpec{5, 1.4, 0.5, 10.0});
+  const core::ClusterModel model(p);
+  const double nu_bar = model.mean_service_rate();
+
+  const std::size_t cycles = bench::scaled(60000);
+  std::printf("# simulation: %zu cycles, single long run\n", cycles);
+  std::printf("rho,d,analytic_PrS_gt_d,simulated_PrS_gt_d\n");
+
+  for (double rho : {0.4, 0.7}) {
+    const double lambda = model.lambda_for_rho(rho);
+    const auto sol = model.solve(lambda);
+
+    sim::ClusterSimConfig cfg;
+    cfg.lambda = lambda;
+    cfg.up = sim::me_sampler(p.up);
+    cfg.down = sim::me_sampler(p.down);
+    cfg.cycles = cycles;
+    cfg.warmup_cycles = cycles / 10;
+    cfg.seed = 27182 + static_cast<std::uint64_t>(rho * 10);
+    const auto res = sim::simulate_cluster(cfg);
+
+    for (double d : {1.0, 3.0, 10.0, 30.0, 100.0, 300.0}) {
+      std::printf("%.1f,%.0f,%.4e,%.4e\n", rho, d,
+                  core::delay_violation_probability(sol, d, nu_bar),
+                  res.system_time_hist.tail(d));
+    }
+  }
+
+  std::printf("\n# deadline planning: smallest d with Pr(S>d) <= eps\n");
+  std::printf("rho,eps,min_deadline\n");
+  for (double rho : {0.4, 0.7}) {
+    const auto sol = model.solve(model.lambda_for_rho(rho));
+    for (double eps : {1e-2, 1e-4, 1e-6}) {
+      std::printf("%.1f,%.0e,%.1f\n", rho, eps,
+                  core::min_deadline_for(sol, eps, nu_bar));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 1: normalized mean queue length of the 2-node cluster vs
+// utilization, for TPT repair times with truncation T = 1, 5, 9, 10.
+//
+// Expected shape (paper): the T=1 (exponential) curve grows smoothly and
+// stays within one decade of M/M/1; the large-T curves are insensitive
+// below rho_2 = 21.7%, elevated between 21.7% and 60.9%, and blow up (two
+// orders of magnitude above M/M/1) beyond rho_1 = 60.9%.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+
+using namespace performa;
+
+int main() {
+  bench::banner("Figure 1", "normalized mean queue length vs utilization",
+                "N=2, nu_p=2, delta=0.2, UP=exp(90), DOWN=TPT(alpha=1.4, "
+                "theta=0.2, mean=10), T in {1,5,9,10}");
+
+  const std::vector<unsigned> t_values{1, 5, 9, 10};
+  std::vector<core::ClusterModel> models;
+  models.reserve(t_values.size());
+  for (unsigned t : t_values) {
+    core::ClusterParams p;
+    p.down = medist::make_tpt(medist::TptSpec{t, 1.4, 0.2, 10.0});
+    models.emplace_back(std::move(p));
+  }
+
+  const auto rho_bounds =
+      core::blowup_utilizations(models.front().blowup_params());
+  std::printf("# blow-up utilizations: rho_1 = %.4f, rho_2 = %.4f "
+              "(paper: 0.609, 0.217)\n",
+              rho_bounds[0], rho_bounds[1]);
+
+  std::printf("rho");
+  for (unsigned t : t_values) std::printf(",nql_T%u", t);
+  std::printf("\n");
+
+  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
+    std::printf("%.2f", rho);
+    for (const auto& model : models) {
+      std::printf(",%.4f", model.normalized_mean_queue_length(rho));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5: normalized mean queue length of the 2-node cluster while the
+// per-node availability A varies, at fixed arrival rate lambda = 1.8 and
+// fixed UP+DOWN cycle length 100 (lower A = shorter MTTF and longer MTTR).
+// Repair times are high-variance HYP-2 matched to the first three moments
+// of the corresponding TPT distribution.
+//
+// Expected shape (paper): instability below A ~ 0.3125 (vertical
+// asymptote); no insensitive region for any A < 1 because lambda = 1.8
+// already exceeds nu_2; the high-variance curves dominate the exponential
+// one over the whole range and the gap grows toward low availability.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "medist/moment_fit.h"
+
+using namespace performa;
+
+namespace {
+
+medist::MeDistribution RepairDist(unsigned t, double mttr) {
+  const auto tpt = medist::make_tpt(medist::TptSpec{t, 1.4, 0.2, mttr});
+  if (t == 1) return tpt;
+  return medist::fit_hyp2(tpt).to_distribution();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5", "normalized mean queue length vs availability",
+                "N=2, nu_p=2, delta=0.2, lambda=1.8, UP+DOWN cycle=100, "
+                "DOWN=HYP-2 matched to TPT(T), T in {1,5,9,10}");
+
+  const double lambda = 1.8;
+  const double cycle = 100.0;
+  const std::vector<unsigned> t_values{1, 5, 9, 10};
+
+  {
+    core::BlowupParams bp{2, 2.0, 0.2, 0.9};
+    std::printf("# stability boundary: A > %.4f (paper: ~0.31); "
+                "region-1 boundary A_1 = %.4f\n",
+                core::stability_availability(bp, lambda),
+                core::availability_boundary(bp, 1, lambda));
+  }
+
+  std::printf("A");
+  for (unsigned t : t_values) std::printf(",nql_T%u", t);
+  std::printf("\n");
+
+  for (double a = 0.34; a < 0.995; a += 0.02) {
+    const double mttf = a * cycle;
+    const double mttr = (1.0 - a) * cycle;
+    std::printf("%.2f", a);
+    for (unsigned t : t_values) {
+      core::ClusterParams p;
+      p.up = medist::exponential_from_mean(mttf);
+      p.down = RepairDist(t, mttr);
+      const core::ClusterModel model(p);
+      const double rho = model.rho_for_lambda(lambda);
+      const double nql = model.solve(lambda).mean_queue_length() /
+                         core::mm1::mean_queue_length(rho);
+      std::printf(",%.4f", nql);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Kernel-level performance benchmarks for the numeric substrate: the
+// costs that bound every experiment in this repository (matrix product,
+// LU solve, GTH stationary vectors, matrix exponential, Kronecker sums).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/ctmc.h"
+#include "linalg/expm.h"
+#include "linalg/kron.h"
+#include "linalg/lu.h"
+
+using namespace performa::linalg;
+
+namespace {
+
+Matrix RandomDominant(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  Matrix m(n, n);
+  for (auto& x : m.data()) x = uni(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += std::abs(m(i, j));
+    m(i, i) += row + 1.0;
+  }
+  return m;
+}
+
+Matrix RandomGenerator(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.05, 2.0);
+  Matrix q(n, n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      q(r, c) = uni(rng);
+      total += q(r, c);
+    }
+    q(r, r) = -total;
+  }
+  return q;
+}
+
+void BM_MatrixProduct(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomDominant(n, 1);
+  const Matrix b = RandomDominant(n, 2);
+  for (auto _ : state) {
+    Matrix c = a * b;
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomDominant(n, 3);
+  const Vector b = ones(n);
+  for (auto _ : state) {
+    Vector x = Lu(a).solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+void BM_GthStationary(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix q = RandomGenerator(n, 4);
+  for (auto _ : state) {
+    Vector pi = stationary_distribution(q);
+    benchmark::DoNotOptimize(pi);
+  }
+}
+
+void BM_Expm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix q = RandomGenerator(n, 5);
+  for (auto _ : state) {
+    Matrix e = expm(10.0 * q);
+    benchmark::DoNotOptimize(e.data());
+  }
+}
+
+void BM_KronSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix q = RandomGenerator(n, 6);
+  for (auto _ : state) {
+    Matrix k = kron_sum(q, q);
+    benchmark::DoNotOptimize(k.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MatrixProduct)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GthStationary)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Expm)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KronSum)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

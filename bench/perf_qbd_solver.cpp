@@ -1,0 +1,92 @@
+// Ablation A2: logarithmic reduction vs successive substitution for the
+// R-matrix, across repair-time variance and load.
+//
+// Expected outcome: LR cost is flat (quadratic convergence, ~tens of
+// iterations) while SS cost explodes as sp(R) -> 1, i.e. exactly in the
+// heavy-tail/high-load regime the paper studies. This is why LR is the
+// production default.
+#include <benchmark/benchmark.h>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+
+using namespace performa;
+
+namespace {
+
+map::Mmpp ClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(medist::exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+void BM_LogarithmicReduction(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  for (auto _ : state) {
+    auto result = qbd::solve_r(blocks);
+    benchmark::DoNotOptimize(result.r);
+  }
+  state.SetLabel("phases=" + std::to_string(blocks.phase_dim()));
+}
+
+void BM_SuccessiveSubstitution(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  qbd::SolverOptions opts;
+  opts.algorithm = qbd::RAlgorithm::kSuccessiveSubstitution;
+  // Loose tolerance keeps the benchmark finite even near sp(R) ~ 1.
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 2000000;
+  unsigned iterations = 0;
+  for (auto _ : state) {
+    auto result = qbd::solve_r(blocks, opts);
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result.r);
+  }
+  state.counters["ss_iterations"] = iterations;
+}
+
+void BM_FullSolution(benchmark::State& state) {
+  // End-to-end: R + boundary + mean queue length, the per-point cost of
+  // the Fig. 1 sweep.
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, 0.7 * mmpp.mean_rate());
+  for (auto _ : state) {
+    qbd::QbdSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+}
+
+}  // namespace
+
+// (T, rho%): exponential repair at moderate load vs TPT at blow-up load.
+BENCHMARK(BM_LogarithmicReduction)
+    ->Args({1, 50})
+    ->Args({5, 50})
+    ->Args({10, 50})
+    ->Args({10, 70})
+    ->Args({10, 90})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SuccessiveSubstitution)
+    ->Args({1, 30})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FullSolution)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

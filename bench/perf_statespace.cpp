@@ -1,0 +1,79 @@
+// Ablation A1: lumped (exchangeable) vs full Kronecker state space.
+//
+// Expected outcome: identical metrics (verified in the test suite), but
+// the lumped construction grows as C(N+m-1, m-1) instead of m^N -- the
+// difference between milliseconds and minutes for N = 4..5 with
+// multi-phase repair distributions.
+#include <benchmark/benchmark.h>
+
+#include "map/kron_aggregate.h"
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+
+using namespace performa;
+
+namespace {
+
+map::ServerModel Server(unsigned t_phases) {
+  return map::ServerModel(medist::exponential_from_mean(90.0),
+                          medist::make_tpt(
+                              medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                          2.0, 0.2);
+}
+
+void BM_BuildLumped(benchmark::State& state) {
+  const auto server = Server(static_cast<unsigned>(state.range(0)));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    map::LumpedAggregate agg(server, n);
+    benchmark::DoNotOptimize(agg.state_count());
+  }
+  state.counters["states"] = static_cast<double>(
+      map::lumped_state_count(server.dim(), n));
+}
+
+void BM_BuildKron(benchmark::State& state) {
+  const auto server = Server(static_cast<unsigned>(state.range(0)));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    auto mmpp = map::kron_aggregate(server, n);
+    benchmark::DoNotOptimize(mmpp.dim());
+  }
+  state.counters["states"] =
+      static_cast<double>(map::kron_state_count(server, n));
+}
+
+void BM_SolveLumped(benchmark::State& state) {
+  const auto server = Server(static_cast<unsigned>(state.range(0)));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  const map::LumpedAggregate agg(server, n);
+  const auto blocks = qbd::m_mmpp_1(agg.mmpp(), 0.5 * agg.mmpp().mean_rate());
+  for (auto _ : state) {
+    qbd::QbdSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+  state.counters["states"] = static_cast<double>(agg.state_count());
+}
+
+void BM_SolveKron(benchmark::State& state) {
+  const auto server = Server(static_cast<unsigned>(state.range(0)));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  const auto mmpp = map::kron_aggregate(server, n);
+  const auto blocks = qbd::m_mmpp_1(mmpp, 0.5 * mmpp.mean_rate());
+  for (auto _ : state) {
+    qbd::QbdSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+  state.counters["states"] = static_cast<double>(mmpp.dim());
+}
+
+}  // namespace
+
+// (T phases, N servers).
+BENCHMARK(BM_BuildLumped)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Args({10, 5})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildKron)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveLumped)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveKron)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Capacity planning under a delay SLA.
+//
+// Scenario: a dispatcher feeds N worker nodes; the operator must admit the
+// highest task rate such that the probability of a task seeing a backlog
+// of more than K tasks stays below epsilon. How much does the admissible
+// load depend on how repair times are modelled?
+//
+// The example sweeps three repair models with the SAME availability and
+// MTTR -- exponential, HYP-2 (3-moment TPT fit) and full TPT -- and binary
+// searches the maximal admissible arrival rate for each. It then shows the
+// same exercise as the cluster grows from 2 to 6 nodes.
+//
+//   $ ./build/examples/capacity_planning
+#include <cstdio>
+
+#include "core/cluster_model.h"
+#include "medist/moment_fit.h"
+
+using namespace performa;
+
+namespace {
+
+// Largest lambda with Pr(Q >= backlog) <= eps, by bisection on (0, nu_bar).
+double admissible_lambda(const core::ClusterModel& model, std::size_t backlog,
+                         double eps) {
+  double lo = 1e-6;
+  double hi = 0.999 * model.mean_service_rate();
+  if (model.solve(hi).tail(backlog) <= eps) return hi;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.solve(mid).tail(backlog) <= eps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t backlog = 200;
+  const double eps = 1e-6;
+  std::printf("SLA: Pr(Q >= %zu) <= %.0e\n\n", backlog, eps);
+
+  const auto tpt = medist::make_tpt(medist::TptSpec{10, 1.4, 0.2, 10.0});
+
+  std::printf("%-28s %12s %12s %10s\n", "repair model (MTTR=10, A=0.9)",
+              "max lambda", "max rho", "SCV");
+  struct Case {
+    const char* name;
+    medist::MeDistribution down;
+  };
+  const Case cases[] = {
+      {"exponential", medist::exponential_from_mean(10.0)},
+      {"HYP-2 (TPT 3-moment fit)", medist::fit_hyp2(tpt).to_distribution()},
+      {"TPT (T=10, alpha=1.4)", tpt},
+  };
+  for (const auto& c : cases) {
+    core::ClusterParams p;
+    p.down = c.down;
+    const core::ClusterModel model(p);
+    const double lam = admissible_lambda(model, backlog, eps);
+    std::printf("%-28s %12.3f %12.3f %10.1f\n", c.name, lam,
+                model.rho_for_lambda(lam), c.down.scv());
+  }
+
+  std::printf("\nSame SLA, TPT repairs, growing the cluster:\n");
+  std::printf("%4s %12s %14s %22s\n", "N", "max lambda", "max rho",
+              "lambda gain vs N=2");
+  double base = 0.0;
+  for (unsigned n = 2; n <= 6; ++n) {
+    core::ClusterParams p;
+    p.n_servers = n;
+    p.down = medist::fit_hyp2(tpt).to_distribution();  // keep state space small
+    const core::ClusterModel model(p);
+    const double lam = admissible_lambda(model, backlog, eps);
+    if (n == 2) base = lam;
+    std::printf("%4u %12.3f %14.3f %20.2fx\n", n, lam,
+                model.rho_for_lambda(lam), lam / base);
+  }
+  std::printf("\nTakeaway: with heavy-tailed repairs the admissible load is "
+              "capped near the first\nblow-up boundary, so extra nodes add "
+              "capacity almost linearly -- each node pushes\nthe blow-up "
+              "boundaries outward -- while with exponential repairs the "
+              "cluster could\nalready run near saturation.\n");
+  return 0;
+}

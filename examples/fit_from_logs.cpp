@@ -1,0 +1,83 @@
+// From repair logs to capacity decisions.
+//
+// Operators rarely know the repair-time *distribution*; they have logs.
+// This example generates a synthetic repair log (mixing process restarts,
+// reboots and hardware swaps -- the multi-time-scale story of Sec. 2.1),
+// then walks the full pipeline:
+//
+//   1. sample moments + Hill tail-exponent estimate,
+//   2. fit a HYP-2 and a TPT model,
+//   3. solve the cluster with each fitted model,
+//   4. compare against the naive "exponential with the same MTTR" model.
+//
+//   $ ./build/examples/fit_from_logs
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "medist/empirical.h"
+
+using namespace performa;
+
+namespace {
+
+// Synthetic repair log: 84% process restarts (~1 min), 15% reboots
+// (~15 min), 1% hardware swaps (~10 h) -- time unit: minutes.
+std::vector<double> SyntheticRepairLog(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<double> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = uni(rng);
+    const double mean = u < 0.84 ? 1.0 : (u < 0.99 ? 15.0 : 600.0);
+    log.push_back(std::exponential_distribution<double>(1.0 / mean)(rng));
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  const auto log = SyntheticRepairLog(50000, 424242);
+  const auto moments = medist::sample_moments(log);
+  std::printf("repair log: %zu entries, mean %.2f min, SCV %.1f\n",
+              moments.count, moments.m1, moments.scv());
+
+  const auto hyp2 = medist::fit_hyp2_samples(log).to_distribution();
+  std::printf("HYP-2 fit: p1=%.4f, means %.2f / %.2f min\n",
+              hyp2.entry_vector()[0], 1.0 / hyp2.rate_matrix()(0, 0),
+              1.0 / hyp2.rate_matrix()(1, 1));
+
+  const double alpha = medist::hill_tail_exponent(log, 400);
+  std::printf("Hill tail-exponent estimate (k=400): alpha ~ %.2f\n\n",
+              alpha);
+
+  // Cluster: 2 nodes, MTTF chosen for A = 0.99 given the measured MTTR.
+  const double mttr = moments.m1;
+  const double mttf = 99.0 * mttr;
+  auto solve_with = [&](const medist::MeDistribution& down, double rho) {
+    core::ClusterParams p;
+    p.up = medist::exponential_from_mean(mttf);
+    p.down = down;
+    const core::ClusterModel model(p);
+    return model.solve(model.lambda_for_rho(rho)).mean_queue_length();
+  };
+
+  std::printf("%6s %16s %16s %12s\n", "rho", "E[Q] exp-fit", "E[Q] HYP2-fit",
+              "M/M/1");
+  for (double rho : {0.3, 0.6, 0.8, 0.9}) {
+    std::printf("%6.2f %16.3f %16.3f %12.3f\n", rho,
+                solve_with(medist::exponential_from_mean(mttr), rho),
+                solve_with(hyp2, rho), core::mm1::mean_queue_length(rho));
+  }
+
+  std::printf(
+      "\nThe exponential fit -- same MTTR, same availability -- "
+      "underestimates the queue by\nlarge factors at high load: the 1%% "
+      "hardware-swap tail dominates the queueing\nbehaviour even though it "
+      "barely moves the mean repair time.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// perfctl -- command-line front end to the performa library.
+//
+//   perfctl blowup  [N nu_p delta A alpha]         blow-up structure
+//   perfctl solve   [N nu_p delta mttf mttr rho T] one stationary solution
+//   perfctl sweep   [N nu_p delta mttf mttr T]     rho sweep (CSV)
+//   perfctl simulate [N nu_p delta mttf mttr rho cycles seed]
+//                                                  multiprocessor simulation
+//
+// Arguments are positional with defaults matching the paper's running
+// example; `perfctl <cmd>` with no arguments reproduces paper numbers.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "core/qos.h"
+#include "sim/cluster_sim.h"
+
+using namespace performa;
+
+namespace {
+
+double Arg(int argc, char** argv, int index, double fallback) {
+  return argc > index ? std::atof(argv[index]) : fallback;
+}
+
+core::ClusterParams MakeParams(double n, double nu_p, double delta,
+                               double mttf, double mttr, double t_phases) {
+  core::ClusterParams p;
+  p.n_servers = static_cast<unsigned>(n);
+  p.nu_p = nu_p;
+  p.delta = delta;
+  p.up = medist::exponential_from_mean(mttf);
+  const auto t = static_cast<unsigned>(t_phases);
+  p.down = t <= 1 ? medist::exponential_from_mean(mttr)
+                  : medist::make_tpt(medist::TptSpec{t, 1.4, 0.2, mttr});
+  return p;
+}
+
+int CmdBlowup(int argc, char** argv) {
+  core::BlowupParams p;
+  p.n_servers = static_cast<unsigned>(Arg(argc, argv, 2, 2));
+  p.nu_p = Arg(argc, argv, 3, 2.0);
+  p.delta = Arg(argc, argv, 4, 0.2);
+  p.availability = Arg(argc, argv, 5, 0.9);
+  const double alpha = Arg(argc, argv, 6, 1.4);
+
+  std::printf("nu_bar = %.4f\n", core::mean_service_rate(p));
+  const auto nu = core::service_rate_ladder(p);
+  const auto rho = core::blowup_utilizations(p);
+  std::printf("%3s %10s %12s %10s\n", "i", "nu_i", "rho_i", "beta_i");
+  for (unsigned i = 1; i <= p.n_servers; ++i) {
+    std::printf("%3u %10.4f %12.4f %10.4f\n", i, nu[i], rho[i - 1],
+                core::tail_exponent(i, alpha));
+  }
+  return 0;
+}
+
+int CmdSolve(int argc, char** argv) {
+  const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
+                            Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
+                            Arg(argc, argv, 6, 10.0),
+                            Arg(argc, argv, 8, 10));
+  const double rho = Arg(argc, argv, 7, 0.7);
+  const core::ClusterModel model(p);
+  const auto sol = model.solve(model.lambda_for_rho(rho));
+  const double nu_bar = model.mean_service_rate();
+
+  std::printf("availability      %.4f\n", model.availability());
+  std::printf("nu_bar            %.4f\n", nu_bar);
+  std::printf("lambda            %.4f\n", model.lambda_for_rho(rho));
+  std::printf("E[Q]              %.4f\n", sol.mean_queue_length());
+  std::printf("E[Q] normalized   %.4f\n",
+              sol.mean_queue_length() / core::mm1::mean_queue_length(rho));
+  std::printf("P(empty)          %.4f\n", sol.probability_empty());
+  std::printf("sp(R)             %.6f\n", sol.decay_rate());
+  for (std::size_t k : {100u, 500u}) {
+    std::printf("Pr(Q >= %-4zu)     %.4e\n", k, sol.tail(k));
+  }
+  std::printf("min d, eps=1e-4   %.2f time units\n",
+              core::min_deadline_for(sol, 1e-4, nu_bar));
+  return 0;
+}
+
+int CmdSweep(int argc, char** argv) {
+  const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
+                            Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
+                            Arg(argc, argv, 6, 10.0),
+                            Arg(argc, argv, 7, 10));
+  const core::ClusterModel model(p);
+  std::printf("rho,mean_ql,normalized,p_empty,tail500\n");
+  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
+    const auto sol = model.solve(model.lambda_for_rho(rho));
+    std::printf("%.2f,%.4f,%.4f,%.4f,%.4e\n", rho, sol.mean_queue_length(),
+                sol.mean_queue_length() / core::mm1::mean_queue_length(rho),
+                sol.probability_empty(), sol.tail(500));
+  }
+  return 0;
+}
+
+int CmdSimulate(int argc, char** argv) {
+  const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
+                            Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
+                            Arg(argc, argv, 6, 10.0), 10);
+  const double rho = Arg(argc, argv, 7, 0.5);
+  const core::ClusterModel model(p);
+
+  sim::ClusterSimConfig cfg;
+  cfg.n_servers = p.n_servers;
+  cfg.nu_p = p.nu_p;
+  cfg.delta = p.delta;
+  cfg.lambda = model.lambda_for_rho(rho);
+  cfg.up = sim::me_sampler(p.up);
+  cfg.down = sim::me_sampler(p.down);
+  cfg.cycles = static_cast<std::size_t>(Arg(argc, argv, 8, 20000));
+  cfg.warmup_cycles = cfg.cycles / 10;
+  cfg.seed = static_cast<std::uint64_t>(Arg(argc, argv, 9, 1));
+
+  const auto res = sim::simulate_cluster(cfg);
+  std::printf("simulated time    %.1f\n", res.sim_time);
+  std::printf("arrivals          %zu\n", res.arrivals);
+  std::printf("completed         %zu\n", res.completed);
+  std::printf("E[Q] (sim)        %.4f\n", res.mean_queue_length);
+  std::printf("E[Q] (analytic)   %.4f\n",
+              model.solve(cfg.lambda).mean_queue_length());
+  std::printf("E[system time]    %.4f\n", res.system_time.mean());
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "usage: perfctl <command> [args]\n"
+      "  blowup   [N nu_p delta A alpha]\n"
+      "  solve    [N nu_p delta mttf mttr rho T]\n"
+      "  sweep    [N nu_p delta mttf mttr T]\n"
+      "  simulate [N nu_p delta mttf mttr rho cycles seed]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  try {
+    if (std::strcmp(argv[1], "blowup") == 0) return CmdBlowup(argc, argv);
+    if (std::strcmp(argv[1], "solve") == 0) return CmdSolve(argc, argv);
+    if (std::strcmp(argv[1], "sweep") == 0) return CmdSweep(argc, argv);
+    if (std::strcmp(argv[1], "simulate") == 0) return CmdSimulate(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfctl: %s\n", e.what());
+    return 2;
+  }
+  Usage();
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Quickstart: model a 2-node cluster whose repairs have high variance,
+// solve it exactly, and see why the repair-time *distribution* (not just
+// the MTTR) decides the queueing behaviour.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+
+using namespace performa;
+
+int main() {
+  // A cluster of 2 nodes, each serving 2 tasks/s when healthy and slowed
+  // to 20% by faults. Nodes run 90 time units between faults and need 10
+  // to recover on average -- availability 0.9 either way. The *shape* of
+  // the repair-time distribution is the experiment:
+  core::ClusterParams exp_repair;           // exponential repairs
+  core::ClusterParams heavy_repair;         // truncated power-tail repairs
+  heavy_repair.down =
+      medist::make_tpt(medist::TptSpec{/*phases=*/10, /*alpha=*/1.4,
+                                       /*theta=*/0.2, /*mean=*/10.0});
+
+  const core::ClusterModel mild(exp_repair);
+  const core::ClusterModel heavy(heavy_repair);
+
+  std::printf("availability (both models): %.3f\n", heavy.availability());
+  std::printf("aggregate service rate:     %.3f tasks/s\n\n",
+              heavy.mean_service_rate());
+
+  // Where does behaviour change qualitatively? The blow-up utilizations.
+  const auto bounds = core::blowup_utilizations(heavy.blowup_params());
+  std::printf("blow-up utilizations: rho_1 = %.3f, rho_2 = %.3f\n\n",
+              bounds[0], bounds[1]);
+
+  std::printf("%6s  %14s  %14s  %10s\n", "rho", "E[Q] exp-rep",
+              "E[Q] heavy-rep", "M/M/1");
+  for (double rho : {0.10, 0.40, 0.70}) {
+    const auto mild_sol = mild.solve(mild.lambda_for_rho(rho));
+    const auto heavy_sol = heavy.solve(heavy.lambda_for_rho(rho));
+    std::printf("%6.2f  %14.2f  %14.2f  %10.2f\n", rho,
+                mild_sol.mean_queue_length(), heavy_sol.mean_queue_length(),
+                core::mm1::mean_queue_length(rho));
+  }
+
+  // Delay-bound QoS: Pr(system time > d) ~ Pr(Q > d * nu_bar).
+  const double d = 136.0;  // time units
+  const double rho = 0.70;
+  const auto sol = heavy.solve(heavy.lambda_for_rho(rho));
+  const auto k = static_cast<std::size_t>(d * heavy.mean_service_rate());
+  std::printf("\nAt rho = %.2f, Pr(system time > %.0f) ~ Pr(Q >= %zu) = "
+              "%.2e\n",
+              rho, d, k, sol.tail(k));
+  std::printf("With exponential repairs the same bound gives %.2e -- the "
+              "MTTR alone tells you almost nothing.\n",
+              mild.solve(mild.lambda_for_rho(rho)).tail(k));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The N-Burst teletraffic dual (paper Sec. 2.3): the same mathematics
+// that explains cluster blow-ups explains delay blow-ups in packet
+// networks fed by ON/OFF sources with heavy-tailed burst lengths.
+//
+// A router buffer is fed by N sources that emit at peak rate lambda_p
+// while ON; ON periods are heavy-tailed (file sizes!), OFF periods are
+// exponential, and the link drains at rate mu. The correspondence:
+//
+//   cluster DOWN/repair  <->  source ON/burst
+//   availability A       <->  1 - burstiness b
+//   nu_p (UP service)    <->  lambda_p (peak arrival)
+//
+//   $ ./build/examples/teletraffic_nburst
+#include <cstdio>
+
+#include "core/mm1.h"
+#include "core/nburst.h"
+#include "medist/tpt.h"
+
+using namespace performa;
+
+int main() {
+  core::NBurstParams params;
+  params.n_sources = 2;
+  params.lambda_p = 2.0;  // packets per time unit while ON
+  params.off = medist::exponential_from_mean(90.0);
+
+  std::printf("N-Burst link model: %u ON/OFF sources, peak rate %.1f\n\n",
+              params.n_sources, params.lambda_p);
+
+  std::printf("%6s  %18s  %18s  %10s\n", "rho", "E[Q] exp bursts",
+              "E[Q] TPT bursts", "M/M/1");
+  for (double rho : {0.3, 0.5, 0.7, 0.85}) {
+    core::NBurstParams exp_p = params;
+    exp_p.on = medist::exponential_from_mean(10.0);
+    core::NBurstParams tpt_p = params;
+    tpt_p.on = medist::make_tpt(medist::TptSpec{9, 1.4, 0.2, 10.0});
+
+    const core::NBurstModel exp_model(exp_p);
+    const core::NBurstModel tpt_model(tpt_p);
+    std::printf("%6.2f  %18.2f  %18.2f  %10.2f\n", rho,
+                exp_model.solve(exp_model.mu_for_rho(rho))
+                    .mean_queue_length(),
+                tpt_model.solve(tpt_model.mu_for_rho(rho))
+                    .mean_queue_length(),
+                core::mm1::mean_queue_length(rho));
+  }
+
+  core::NBurstParams tpt_p = params;
+  tpt_p.on = medist::make_tpt(medist::TptSpec{9, 1.4, 0.2, 10.0});
+  const core::NBurstModel model(tpt_p);
+  std::printf("\nburstiness b = %.3f, mean load %.3f pkt/unit\n",
+              model.burstiness(), model.mean_arrival_rate());
+
+  // Buffer-sizing view: how big must the buffer be for loss ~ 1e-6?
+  // With heavy-tailed bursts the tail of the queue is a power law above
+  // the blow-up load, so the answer explodes.
+  std::printf("\nPr(Q >= k) at the link, rho = 0.7:\n%8s %14s %14s\n", "k",
+              "exp bursts", "TPT bursts");
+  core::NBurstParams exp_p = params;
+  exp_p.on = medist::exponential_from_mean(10.0);
+  const core::NBurstModel exp_model(exp_p);
+  const auto tpt_sol = model.solve(model.mu_for_rho(0.7));
+  const auto exp_sol = exp_model.solve(exp_model.mu_for_rho(0.7));
+  for (std::size_t k : {10u, 100u, 1000u, 10000u}) {
+    std::printf("%8zu %14.3e %14.3e\n", k, exp_sol.tail(k), tpt_sol.tail(k));
+  }
+  std::printf("\nThe exponential-burst model would suggest a small buffer "
+              "suffices; with heavy-tailed\nbursts the loss target is "
+              "unreachable by buffering -- the same blow-up mechanism as "
+              "in\nthe cluster model, acting on the arrival side.\n");
+  return 0;
+}

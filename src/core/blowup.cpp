@@ -1,0 +1,81 @@
+#include "core/blowup.h"
+
+#include "linalg/errors.h"
+
+namespace performa::core {
+
+void BlowupParams::validate() const {
+  PERFORMA_EXPECTS(n_servers >= 1, "BlowupParams: n_servers must be >= 1");
+  PERFORMA_EXPECTS(nu_p > 0.0, "BlowupParams: nu_p must be positive");
+  PERFORMA_EXPECTS(delta >= 0.0 && delta <= 1.0,
+                   "BlowupParams: delta must lie in [0,1]");
+  PERFORMA_EXPECTS(availability > 0.0 && availability <= 1.0,
+                   "BlowupParams: availability must lie in (0,1]");
+}
+
+std::vector<double> service_rate_ladder(const BlowupParams& p) {
+  p.validate();
+  const double up_rate = p.nu_p * (p.availability +
+                                   p.delta * (1.0 - p.availability));
+  std::vector<double> nu(p.n_servers + 1);
+  for (unsigned i = 0; i <= p.n_servers; ++i) {
+    nu[i] = (p.n_servers - i) * up_rate + i * p.delta * p.nu_p;
+  }
+  return nu;
+}
+
+double mean_service_rate(const BlowupParams& p) {
+  p.validate();
+  return p.n_servers * p.nu_p *
+         (p.availability + p.delta * (1.0 - p.availability));
+}
+
+std::vector<double> blowup_utilizations(const BlowupParams& p) {
+  const std::vector<double> nu = service_rate_ladder(p);
+  const double nu_bar = nu[0];
+  std::vector<double> rho(p.n_servers);
+  for (unsigned i = 1; i <= p.n_servers; ++i) rho[i - 1] = nu[i] / nu_bar;
+  return rho;  // descending: rho_1 > rho_2 > ... > rho_N
+}
+
+unsigned blowup_region(const BlowupParams& p, double rho) {
+  PERFORMA_EXPECTS(rho >= 0.0 && rho < 1.0,
+                   "blowup_region: rho must lie in [0,1)");
+  const std::vector<double> nu = service_rate_ladder(p);
+  const double lambda = rho * nu[0];
+  // Region i: nu_i < lambda < nu_{i-1}; region 0 if lambda <= nu_N.
+  for (unsigned i = 1; i <= p.n_servers; ++i) {
+    if (lambda > nu[i]) return i;
+  }
+  return 0;
+}
+
+double tail_exponent(unsigned region, double alpha) {
+  PERFORMA_EXPECTS(region >= 1, "tail_exponent: region must be >= 1");
+  PERFORMA_EXPECTS(alpha > 1.0, "tail_exponent: alpha must exceed 1");
+  return region * (alpha - 1.0) + 1.0;
+}
+
+double availability_boundary(const BlowupParams& p, unsigned i,
+                             double lambda) {
+  p.validate();
+  PERFORMA_EXPECTS(i < p.n_servers,
+                   "availability_boundary: i must lie in [0, N-1]");
+  PERFORMA_EXPECTS(p.delta < 1.0,
+                   "availability_boundary: undefined for delta = 1");
+  PERFORMA_EXPECTS(lambda > 0.0, "availability_boundary: lambda > 0");
+  const double share = (lambda - i * p.delta * p.nu_p) /
+                       ((p.n_servers - i) * p.nu_p);
+  return (share - p.delta) / (1.0 - p.delta);
+}
+
+double stability_availability(const BlowupParams& p, double lambda) {
+  return availability_boundary(p, 0, lambda);
+}
+
+bool has_blowup(const BlowupParams& p, double lambda) {
+  p.validate();
+  return lambda > p.n_servers * p.nu_p * p.delta;
+}
+
+}  // namespace performa::core

@@ -1,0 +1,76 @@
+// Blow-up point characterization (Sec. 3.1 of the paper).
+//
+// While i of the N servers sit in a *long* repair period, the cluster's
+// mean service rate degrades to
+//
+//   nu_i = (N - i)(nu_p A + delta nu_p (1 - A)) + i delta nu_p ,  i = 0..N
+//
+// with nu_0 = nu_bar, the long-term average rate. If the arrival rate
+// lambda falls in (nu_i, nu_{i-1}), at least i simultaneous long repairs
+// are needed to oversaturate the queue; with power-tail repair times of
+// exponent alpha the queue-length pmf then shows a (truncated) power tail
+// with exponent beta_i = i(alpha - 1) + 1. The boundaries nu_i / nu_bar
+// are the blow-up utilizations; crossing one changes the performance
+// qualitatively ("blow-up points", Fig. 1/3/4/5/6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace performa::core {
+
+/// Static cluster parameters entering the blow-up analysis.
+struct BlowupParams {
+  unsigned n_servers = 2;   ///< N
+  double nu_p = 2.0;        ///< full service rate of one UP server
+  double delta = 0.2;       ///< degradation factor in [0,1]
+  double availability = 0.9;///< A = MTTF / (MTTF + MTTR)
+
+  void validate() const;
+};
+
+/// nu_i for i = 0..N (i servers in a long repair period).
+/// nu_0 = nu_bar >= nu_1 >= ... >= nu_N = N delta nu_p.
+std::vector<double> service_rate_ladder(const BlowupParams& p);
+
+/// Long-term average service rate nu_bar = N nu_p (A + delta (1 - A)).
+double mean_service_rate(const BlowupParams& p);
+
+/// Blow-up utilizations rho_i = nu_i / nu_bar for i = 1..N, descending.
+/// rho < rho_N: insensitive region; rho in (rho_i, rho_{i-1}): region i.
+std::vector<double> blowup_utilizations(const BlowupParams& p);
+
+/// Blow-up region index for a given utilization:
+/// 0 = insensitive (even all-N long repairs cannot oversaturate),
+/// i in 1..N = at least i simultaneous long repairs oversaturate,
+/// i.e. lambda in (nu_i, nu_{i-1}).
+/// Throws InvalidArgument if rho is not in [0, 1).
+unsigned blowup_region(const BlowupParams& p, double rho);
+
+/// Queue-length tail exponent in region i >= 1 for repair-time tail
+/// exponent alpha: beta_i = i (alpha - 1) + 1.
+double tail_exponent(unsigned region, double alpha);
+
+/// Availability at which lambda equals nu_i, i.e. the region-i boundary
+/// of Fig. 5 (Eq. 5 of the paper solved for A):
+///
+///   A_i = ((lambda - i delta nu_p) / ((N - i) nu_p) - delta) / (1 - delta)
+///
+/// defined for i = 0..N-1 and delta < 1. The A_i increase with i:
+/// A > A_0 is the stability region, and availability A in (A_{i-1}, A_i)
+/// puts the model in blow-up region i (i simultaneous long repairs
+/// oversaturate). Above A_{N-1} the model sits in region N if
+/// has_blowup(), else in the insensitive region.
+double availability_boundary(const BlowupParams& p, unsigned i, double lambda);
+
+/// Smallest availability keeping the queue stable at arrival rate lambda
+/// (A_0 above). Values <= 0 mean "stable for every availability";
+/// values >= 1 mean "unstable even at A = 1".
+double stability_availability(const BlowupParams& p, double lambda);
+
+/// True iff a blow-up region exists at all for this lambda: the paper's
+/// condition lambda > N nu_p delta (otherwise even N crashed/degraded
+/// servers keep up and the repair-time distribution is irrelevant).
+bool has_blowup(const BlowupParams& p, double lambda);
+
+}  // namespace performa::core

@@ -1,0 +1,33 @@
+#include "core/completion_time.h"
+
+#include "linalg/errors.h"
+
+namespace performa::core {
+
+Moments2 resume_completion_moments(const medist::MeDistribution& task,
+                                   double failure_rate,
+                                   const medist::MeDistribution& repair) {
+  PERFORMA_EXPECTS(failure_rate >= 0.0,
+                   "resume_completion_moments: failure rate >= 0");
+  const double t1 = task.moment(1);
+  const double t2 = task.moment(2);
+  const double r1 = repair.moment(1);
+  const double r2 = repair.moment(2);
+  const double inflation = 1.0 + failure_rate * r1;
+
+  Moments2 c;
+  c.m1 = t1 * inflation;
+  c.m2 = inflation * inflation * t2 + failure_rate * t1 * r2;
+  return c;
+}
+
+Moments2 restart_completion_moments_exp_task(
+    double task_rate, double failure_rate,
+    const medist::MeDistribution& repair) {
+  PERFORMA_EXPECTS(task_rate > 0.0,
+                   "restart_completion_moments_exp_task: task rate > 0");
+  return resume_completion_moments(medist::exponential_dist(task_rate),
+                                   failure_rate, repair);
+}
+
+}  // namespace performa::core

@@ -1,0 +1,52 @@
+// Completion-time analysis: the classical alternative the paper mentions
+// in Sec. 2.2 ("the heavy-tailed repair periods can be modeled as
+// occasional heavy-tailed services ... M/G/1 or M/G/c type analysis").
+//
+// For a crash-prone server with Resume semantics, an exponential task of
+// mean E[T], failures hitting a *busy* server at rate f, and repairs R,
+// the effective service ("completion") time is
+//
+//   C = T + sum_{i=1}^{N(T)} R_i,     N(T) | T ~ Poisson(f T),
+//
+// with moments
+//
+//   E[C]   = E[T] (1 + f E[R])
+//   E[C^2] = (1 + f E[R])^2 E[T^2] + f E[T] E[R^2].
+//
+// Feeding these into an M/G/c approximation gives the comparator used in
+// bench/ext6_mgc_comparator -- which demonstrates *why* the QBD model is
+// necessary: the M/G/c view has no notion of the blow-up regions, because
+// it scrambles the temporal correlation of repairs across servers.
+#pragma once
+
+#include "medist/me_dist.h"
+
+namespace performa::core {
+
+/// First two moments of a positive random variable.
+struct Moments2 {
+  double m1 = 0.0;
+  double m2 = 0.0;
+
+  double variance() const { return m2 - m1 * m1; }
+  double scv() const { return variance() / (m1 * m1); }
+};
+
+/// Completion-time moments for Resume semantics (see file comment).
+/// `task`: the task-time distribution (any ME distribution; only its
+/// first two moments enter). `failure_rate` = 1/MTTF. `repair`: the
+/// repair-duration distribution.
+Moments2 resume_completion_moments(const medist::MeDistribution& task,
+                                   double failure_rate,
+                                   const medist::MeDistribution& repair);
+
+/// Completion-time moments for Restart semantics with exponential task
+/// times: by memorylessness the re-done work is again exponential, so for
+/// exponential tasks Restart and Resume coincide in distribution (the
+/// paper's queue-length equivalence); provided separately so call sites
+/// document their intent.
+Moments2 restart_completion_moments_exp_task(double task_rate,
+                                             double failure_rate,
+                                             const medist::MeDistribution& repair);
+
+}  // namespace performa::core

@@ -1,0 +1,44 @@
+#include "core/mgc.h"
+
+#include <cmath>
+
+#include "linalg/errors.h"
+
+namespace performa::core::mgc {
+
+double erlang_c(double a, unsigned c) {
+  PERFORMA_EXPECTS(c >= 1, "erlang_c: need at least one server");
+  PERFORMA_EXPECTS(a >= 0.0 && a < static_cast<double>(c),
+                   "erlang_c: offered load must satisfy a < c");
+  // Stable recurrence over the Erlang-B blocking probability:
+  // B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)); C = B(c)/(1 - rho (1 - B(c))).
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / static_cast<double>(c);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double mmc_mean_wait(double lambda, double mu, unsigned c) {
+  PERFORMA_EXPECTS(lambda > 0.0 && mu > 0.0, "mmc_mean_wait: rates > 0");
+  const double a = lambda / mu;
+  const double rho = a / static_cast<double>(c);
+  PERFORMA_EXPECTS(rho < 1.0, "mmc_mean_wait: unstable (rho >= 1)");
+  return erlang_c(a, c) / (static_cast<double>(c) * mu - lambda);
+}
+
+double mmc_mean_number(double lambda, double mu, unsigned c) {
+  return lambda * (mmc_mean_wait(lambda, mu, c) + 1.0 / mu);
+}
+
+double mgc_mean_number(double lambda, const Moments2& service, unsigned c) {
+  PERFORMA_EXPECTS(lambda > 0.0 && service.m1 > 0.0,
+                   "mgc_mean_number: positive rates required");
+  const double mu = 1.0 / service.m1;
+  const double wq_mmc = mmc_mean_wait(lambda, mu, c);
+  const double wq = 0.5 * (service.scv() + 1.0) * wq_mmc;
+  return lambda * (wq + service.m1);
+}
+
+}  // namespace performa::core::mgc

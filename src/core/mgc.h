@@ -1,0 +1,30 @@
+// Multi-server queue approximations: exact M/M/c (Erlang-C) and the
+// Lee-Longton M/G/c approximation
+//
+//   E[W_q(M/G/c)] ~ (SCV_s + 1)/2 * E[W_q(M/M/c)],
+//
+// used as the completion-time comparator baseline (see
+// completion_time.h). All quantities count the *number in system* to
+// match the rest of the library.
+#pragma once
+
+#include "core/completion_time.h"
+
+namespace performa::core::mgc {
+
+/// Erlang-C: probability an arriving customer waits in M/M/c.
+/// `a` = offered load lambda/mu (in Erlangs), `c` servers; requires
+/// a < c.
+double erlang_c(double a, unsigned c);
+
+/// Mean waiting time in queue for M/M/c.
+double mmc_mean_wait(double lambda, double mu, unsigned c);
+
+/// Mean number in system for M/M/c.
+double mmc_mean_number(double lambda, double mu, unsigned c);
+
+/// Lee-Longton M/G/c approximation of the mean number in system, given
+/// the first two service-time moments.
+double mgc_mean_number(double lambda, const Moments2& service, unsigned c);
+
+}  // namespace performa::core::mgc

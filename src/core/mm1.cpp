@@ -1,0 +1,41 @@
+#include "core/mm1.h"
+
+#include <cmath>
+
+#include "linalg/errors.h"
+
+namespace performa::core::mm1 {
+
+namespace {
+void check_rho(double rho) {
+  PERFORMA_EXPECTS(rho >= 0.0 && rho < 1.0, "mm1: rho must lie in [0,1)");
+}
+}  // namespace
+
+double mean_queue_length(double rho) {
+  check_rho(rho);
+  return rho / (1.0 - rho);
+}
+
+double pmf(double rho, std::size_t k) {
+  check_rho(rho);
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(k));
+}
+
+double tail(double rho, std::size_t k) {
+  check_rho(rho);
+  return std::pow(rho, static_cast<double>(k));
+}
+
+double variance(double rho) {
+  check_rho(rho);
+  return rho / ((1.0 - rho) * (1.0 - rho));
+}
+
+double mean_system_time(double lambda, double mu) {
+  PERFORMA_EXPECTS(mu > lambda && lambda >= 0.0,
+                   "mm1: need mu > lambda >= 0");
+  return 1.0 / (mu - lambda);
+}
+
+}  // namespace performa::core::mm1

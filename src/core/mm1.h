@@ -1,0 +1,27 @@
+// Closed-form M/M/1 results. Every figure in the paper normalizes the
+// cluster's mean queue length by the M/M/1 value at the same utilization,
+// and Fig. 2 plots the M/M/1 pmf for comparison.
+#pragma once
+
+#include <cstddef>
+
+namespace performa::core::mm1 {
+
+/// E[Q] (number in system) = rho / (1 - rho); throws InvalidArgument for
+/// rho outside [0, 1).
+double mean_queue_length(double rho);
+
+/// Pr(Q = k) = (1 - rho) rho^k.
+double pmf(double rho, std::size_t k);
+
+/// Pr(Q >= k) = rho^k.
+double tail(double rho, std::size_t k);
+
+/// Var[Q] = rho / (1-rho)^2.
+double variance(double rho);
+
+/// Mean system (sojourn) time for arrival rate lambda = rho * mu:
+/// 1 / (mu - lambda).
+double mean_system_time(double lambda, double mu);
+
+}  // namespace performa::core::mm1

@@ -1,0 +1,50 @@
+#include "core/qos.h"
+
+#include <cmath>
+
+#include "linalg/errors.h"
+
+namespace performa::core {
+
+double delay_violation_probability(const qbd::QbdSolution& solution,
+                                   double deadline, double nu_bar) {
+  PERFORMA_EXPECTS(deadline >= 0.0,
+                   "delay_violation_probability: deadline >= 0");
+  PERFORMA_EXPECTS(nu_bar > 0.0, "delay_violation_probability: nu_bar > 0");
+  const auto k = static_cast<std::size_t>(std::floor(deadline * nu_bar));
+  // Pr(Q > k) = Pr(Q >= k+1).
+  return solution.tail(k + 1);
+}
+
+double min_deadline_for(const qbd::QbdSolution& solution, double eps,
+                        double nu_bar, std::size_t k_max) {
+  PERFORMA_EXPECTS(eps > 0.0 && eps < 1.0,
+                   "min_deadline_for: eps must lie in (0,1)");
+  PERFORMA_EXPECTS(nu_bar > 0.0, "min_deadline_for: nu_bar > 0");
+  // Find the smallest k with Pr(Q > k) <= eps; the tail is nonincreasing
+  // in k, so exponential search + bisection applies.
+  std::size_t hi = 1;
+  while (hi < k_max && solution.tail(hi + 1) > eps) hi *= 2;
+  if (solution.tail(hi + 1) > eps) {
+    throw NumericalError(
+        "min_deadline_for: tail does not fall below eps within k_max");
+  }
+  std::size_t lo = hi / 2;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (solution.tail(mid + 1) <= eps) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const std::size_t k = solution.tail(lo + 1) <= eps ? lo : hi;
+  return static_cast<double>(k) / nu_bar;
+}
+
+double deadline_success_probability(const qbd::QbdSolution& solution,
+                                    double deadline, double nu_bar) {
+  return 1.0 - delay_violation_probability(solution, deadline, nu_bar);
+}
+
+}  // namespace performa::core

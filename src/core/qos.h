@@ -1,0 +1,33 @@
+// QoS / delay-bound analysis (paper Sec. 2.2):
+//
+//   Pr(S > d)  ~  Pr(Q > d * nu_bar)
+//
+// links the system-time (sojourn) distribution to the queue-length tail
+// through the average service rate nu_bar; for a task with deadline d the
+// right-hand side estimates the probability of missing it. These helpers
+// make the mapping explicit, and bench/ext5_delay_bound validates it
+// against simulated sojourn times.
+#pragma once
+
+#include <cstddef>
+
+#include "qbd/solution.h"
+
+namespace performa::core {
+
+/// Pr(S > d) via the paper's queue-tail approximation: Pr(Q > d*nu_bar).
+/// `nu_bar` is the long-run average service rate of the cluster.
+double delay_violation_probability(const qbd::QbdSolution& solution,
+                                   double deadline, double nu_bar);
+
+/// Smallest deadline d such that Pr(S > d) <= eps under the same
+/// approximation (bisection over the queue tail; bin granularity is one
+/// task, i.e. 1/nu_bar time units).
+double min_deadline_for(const qbd::QbdSolution& solution, double eps,
+                        double nu_bar, std::size_t k_max = 2000000);
+
+/// Fraction of tasks that meet deadline d: 1 - delay violation.
+double deadline_success_probability(const qbd::QbdSolution& solution,
+                                    double deadline, double nu_bar);
+
+}  // namespace performa::core

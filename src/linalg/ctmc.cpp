@@ -1,0 +1,113 @@
+#include "linalg/ctmc.h"
+
+#include <cmath>
+
+namespace performa::linalg {
+
+bool is_generator(const Matrix& q, double tol) noexcept {
+  if (!q.is_square() || q.empty()) return false;
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    double row_sum = 0.0;
+    double scale = 0.0;
+    for (std::size_t c = 0; c < q.cols(); ++c) {
+      const double x = q(r, c);
+      if (r != c && x < -tol) return false;
+      row_sum += x;
+      scale = std::max(scale, std::abs(x));
+    }
+    if (std::abs(row_sum) > tol * std::max(1.0, scale)) return false;
+  }
+  return true;
+}
+
+void validate_generator(const Matrix& q, double tol) {
+  PERFORMA_EXPECTS(q.is_square() && !q.empty(),
+                   "generator must be square and nonempty");
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    double row_sum = 0.0;
+    double scale = 0.0;
+    for (std::size_t c = 0; c < q.cols(); ++c) {
+      const double x = q(r, c);
+      PERFORMA_EXPECTS(r == c || x >= -tol,
+                       "generator has a negative off-diagonal entry");
+      row_sum += x;
+      scale = std::max(scale, std::abs(x));
+    }
+    PERFORMA_EXPECTS(std::abs(row_sum) <= tol * std::max(1.0, scale),
+                     "generator row does not sum to zero");
+  }
+}
+
+bool is_stochastic(const Matrix& p, double tol) noexcept {
+  if (!p.is_square() || p.empty()) return false;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      const double x = p(r, c);
+      if (x < -tol || x > 1.0 + tol) return false;
+      row_sum += x;
+    }
+    if (std::abs(row_sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+Vector stationary_distribution(const Matrix& q) {
+  PERFORMA_EXPECTS(q.is_square() && !q.empty(),
+                   "stationary_distribution: generator must be square");
+  const std::size_t n = q.rows();
+  if (n == 1) return Vector{1.0};
+
+  // GTH elimination works on the off-diagonal rates only; diagonals are
+  // implied by row sums, which is what removes the cancellation.
+  Matrix a = q;
+
+  // Eliminate states n-1 down to 1.
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    double out_rate = 0.0;  // total rate out of state k into states < k
+    for (std::size_t c = 0; c < k; ++c) out_rate += a(k, c);
+    if (out_rate <= 0.0) {
+      throw NumericalError(
+          "stationary_distribution: generator is reducible (state has no "
+          "path to lower-numbered states)");
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const double f = a(i, k) / out_rate;
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        a(i, j) += f * a(k, j);
+      }
+    }
+  }
+
+  // Back-substitution: unnormalized pi with pi_0 = 1.
+  Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double out_rate = 0.0;
+    for (std::size_t c = 0; c < k; ++c) out_rate += a(k, c);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += pi[i] * a(i, k);
+    pi[k] = acc / out_rate;
+  }
+
+  const double total = sum(pi);
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+Vector stationary_distribution_dtmc(const Matrix& p) {
+  PERFORMA_EXPECTS(p.is_square() && !p.empty(),
+                   "stationary_distribution_dtmc: matrix must be square");
+  Matrix q = p;
+  for (std::size_t i = 0; i < q.rows(); ++i) q(i, i) -= 1.0;
+  return stationary_distribution(q);
+}
+
+double stationary_reward(const Matrix& q, const Vector& r) {
+  const Vector pi = stationary_distribution(q);
+  return dot(pi, r);
+}
+
+}  // namespace performa::linalg

@@ -1,0 +1,39 @@
+// Continuous-time Markov chain utilities: generator validation and the
+// GTH (Grassmann–Taksar–Heyman) stationary solver.
+//
+// GTH is a division-free-of-subtraction variant of Gaussian elimination
+// that computes the stationary vector of an irreducible generator without
+// cancellation, which matters when availability ratios span several orders
+// of magnitude (e.g. MTTF=90 vs TPT repair phases with mean ~1e-2..1e2).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace performa::linalg {
+
+/// True iff `q` looks like a CTMC generator: square, off-diagonal entries
+/// >= -tol, and each row sums to zero within tol.
+bool is_generator(const Matrix& q, double tol = 1e-9) noexcept;
+
+/// Throws InvalidArgument with a specific message when is_generator fails.
+void validate_generator(const Matrix& q, double tol = 1e-9);
+
+/// True iff `p` is a stochastic matrix (rows sum to 1, entries in [0,1])
+/// within tol.
+bool is_stochastic(const Matrix& p, double tol = 1e-9) noexcept;
+
+/// Stationary distribution pi of an irreducible CTMC generator Q
+/// (pi Q = 0, pi e = 1), computed with the GTH algorithm.
+/// Throws NumericalError if the chain is reducible (a pivot row has no
+/// outgoing mass during elimination).
+Vector stationary_distribution(const Matrix& q);
+
+/// Stationary distribution of an irreducible stochastic matrix P
+/// (pi P = pi, pi e = 1); runs GTH on the generator P - I.
+Vector stationary_distribution_dtmc(const Matrix& p);
+
+/// Expected long-run rate of a reward vector r under generator Q:
+/// sum_i pi_i r_i.
+double stationary_reward(const Matrix& q, const Vector& r);
+
+}  // namespace performa::linalg

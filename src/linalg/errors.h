@@ -1,0 +1,42 @@
+// Error types shared by all performa subsystems.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we signal contract and
+// numerical failures with typed exceptions derived from the standard
+// hierarchy, so callers can distinguish "you passed nonsense" from
+// "the computation is numerically impossible".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace performa {
+
+/// Thrown when an argument violates a documented precondition
+/// (dimension mismatch, negative rate, probability outside [0,1], ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a numerical routine cannot produce a meaningful result
+/// (singular matrix, iteration that fails to converge, infeasible
+/// moment fit, unstable queue asked for a stationary solution, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+}  // namespace performa
+
+/// Precondition check that survives in release builds; use for cheap
+/// checks on public API boundaries (Core Guidelines I.6).
+#define PERFORMA_EXPECTS(cond, msg)                                   \
+  do {                                                                \
+    if (!(cond)) ::performa::detail::throw_invalid(msg);              \
+  } while (false)

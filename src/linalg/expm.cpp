@@ -1,0 +1,60 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace performa::linalg {
+
+namespace {
+
+// Padé coefficients for the degree-13 approximant (Higham, "The Scaling and
+// Squaring Method for the Matrix Exponential Revisited", 2005).
+constexpr double kPade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: scaling threshold on ||A||_1 below which Padé(13) attains
+// double-precision accuracy without squaring.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  PERFORMA_EXPECTS(a.is_square() && !a.empty(), "expm: matrix must be square");
+  const std::size_t n = a.rows();
+
+  const double nrm = norm_1(a);
+  int squarings = 0;
+  Matrix as = a;
+  if (nrm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(nrm / kTheta13)));
+    as *= std::ldexp(1.0, -squarings);
+  }
+
+  // Evaluate the (13,13) Padé approximant exp(A) ~ (V - U)^{-1} (V + U)
+  // with U odd and V even in A.
+  const Matrix a2 = as * as;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a2 * a4;
+  const Matrix eye = Matrix::identity(n);
+
+  const Matrix u_inner = a6 * (kPade13[13] * a6 + kPade13[11] * a4 +
+                               kPade13[9] * a2) +
+                         kPade13[7] * a6 + kPade13[5] * a4 + kPade13[3] * a2 +
+                         kPade13[1] * eye;
+  const Matrix u = as * u_inner;
+  const Matrix v = a6 * (kPade13[12] * a6 + kPade13[10] * a4 +
+                         kPade13[8] * a2) +
+                   kPade13[6] * a6 + kPade13[4] * a4 + kPade13[2] * a2 +
+                   kPade13[0] * eye;
+
+  Matrix result = Lu(v - u).solve(v + u);
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+}  // namespace performa::linalg

@@ -1,0 +1,15 @@
+// Matrix exponential via Padé(13) scaling-and-squaring (Higham 2005).
+//
+// Used to evaluate reliability functions R(t) = p exp(-B t) e of
+// matrix-exponential distributions, and for transient CTMC checks in the
+// test suite.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace performa::linalg {
+
+/// exp(A) for a square matrix A.
+Matrix expm(const Matrix& a);
+
+}  // namespace performa::linalg

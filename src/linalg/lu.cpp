@@ -1,0 +1,109 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <limits>
+
+namespace performa::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a) {
+  PERFORMA_EXPECTS(a.is_square() && !a.empty(), "Lu: matrix must be square");
+  const std::size_t n = lu_.rows();
+  piv_.resize(n);
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        p = i;
+      }
+    }
+    if (best == 0.0) throw NumericalError("Lu: matrix is singular");
+    min_pivot_ = std::min(min_pivot_, best);
+    piv_[k] = p;
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv_pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = order();
+  PERFORMA_EXPECTS(b.size() == n, "Lu::solve: length mismatch");
+  Vector x = b;
+  // The factorization swapped whole rows (PA = LU with P applied to the
+  // multiplier columns too), so the full permutation must be applied to b
+  // before forward substitution -- interleaving swaps with elimination
+  // would silently assume LINPACK-style (unswapped) multiplier storage.
+  for (std::size_t k = 0; k < n; ++k) std::swap(x[k], x[piv_[k]]);
+  // Forward-substitute L (unit diagonal).
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) x[i] -= lu_(i, k) * x[k];
+  }
+  // Back-substitute U.
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t j = k + 1; j < n; ++j) x[k] -= lu_(k, j) * x[j];
+    x[k] /= lu_(k, k);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  PERFORMA_EXPECTS(b.rows() == order(), "Lu::solve: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+Vector Lu::solve_left(const Vector& b) const {
+  const std::size_t n = order();
+  PERFORMA_EXPECTS(b.size() == n, "Lu::solve_left: length mismatch");
+  // x A = b  <=>  (PA)^T y = b with x = P^T-composed result. Using PA = LU:
+  // x A = b  <=>  x P^T L U = b. Solve z U = b, then y L = z, then x = y P.
+  Vector z = b;
+  // z U = b: forward substitution over columns of U.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < k; ++i) z[k] -= z[i] * lu_(i, k);
+    z[k] /= lu_(k, k);
+  }
+  // y L = z: back substitution (L unit lower triangular).
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t i = k + 1; i < n; ++i) z[k] -= z[i] * lu_(i, k);
+  }
+  // x = y P: undo row pivots (applied in reverse on the right).
+  for (std::size_t k = n; k-- > 0;) std::swap(z[k], z[piv_[k]]);
+  return z;
+}
+
+Matrix Lu::solve_left(const Matrix& b) const {
+  PERFORMA_EXPECTS(b.cols() == order(), "Lu::solve_left: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t r = 0; r < b.rows(); ++r) x.set_row(r, solve_left(b.row(r)));
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(order())); }
+
+double Lu::determinant() const noexcept {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+}  // namespace performa::linalg

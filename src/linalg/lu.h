@@ -1,0 +1,55 @@
+// LU decomposition with partial pivoting, and the solve/inverse helpers
+// built on it. This is the workhorse behind every (.)^{-1} in the
+// matrix-geometric machinery.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace performa::linalg {
+
+/// LU factorization PA = LU with partial (row) pivoting.
+///
+/// The factorization is computed once; solves against many right-hand
+/// sides reuse it (the QBD solvers exploit this heavily).
+class Lu {
+ public:
+  /// Factor a square matrix. Throws InvalidArgument for non-square input
+  /// and NumericalError if the matrix is singular to working precision.
+  explicit Lu(const Matrix& a);
+
+  std::size_t order() const noexcept { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solve x A = b (row-vector system), i.e. A^T x^T = b^T.
+  Vector solve_left(const Vector& b) const;
+
+  /// Solve X A = B (each row of X solves against A from the left).
+  Matrix solve_left(const Matrix& b) const;
+
+  /// A^{-1} (prefer solve() when possible).
+  Matrix inverse() const;
+
+  /// det(A), including the pivot sign.
+  double determinant() const noexcept;
+
+  /// Smallest |pivot| encountered; a crude singularity indicator.
+  double min_pivot() const noexcept { return min_pivot_; }
+
+ private:
+  Matrix lu_;                     // combined L (unit lower) and U factors
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+  double min_pivot_ = 0.0;
+};
+
+/// One-shot helpers.
+Vector solve(const Matrix& a, const Vector& b);
+Matrix solve(const Matrix& a, const Matrix& b);
+Matrix inverse(const Matrix& a);
+
+}  // namespace performa::linalg

@@ -1,0 +1,143 @@
+// Dense row-major matrix and vector utilities.
+//
+// This is the zero-dependency numeric substrate of performa. Matrix orders
+// in the DSN'07 model are at most a few thousand (lumped MMPP phase spaces),
+// so straightforward dense O(n^3) kernels are adequate and keep the code
+// auditable.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/errors.h"
+
+namespace performa::linalg {
+
+/// Column vector of doubles. We use std::vector directly (Core Guidelines
+/// SL.con.2) and provide the linear-algebra operations as free functions.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles with value semantics.
+///
+/// Invariants: data().size() == rows()*cols(); both dimensions may be zero
+/// only together (default-constructed empty matrix).
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer lists: Matrix{{1,2},{3,4}}.
+  /// Throws InvalidArgument if the rows are ragged.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool is_square() const noexcept { return rows_ == cols_; }
+
+  /// Unchecked element access (hot paths).
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws InvalidArgument when out of range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Contiguous row-major storage.
+  const std::vector<double>& data() const noexcept { return data_; }
+  std::vector<double>& data() noexcept { return data_; }
+
+  /// Row `r` as a copy.
+  Vector row(std::size_t r) const;
+  /// Column `c` as a copy.
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  Matrix transposed() const;
+
+  // Element-wise compound arithmetic.
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+  Matrix& operator/=(double s);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+  /// Square matrix with `d` on the diagonal.
+  static Matrix diag(const Vector& d);
+  /// rows x cols of zeros.
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- arithmetic -----------------------------------------------------------
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double s);
+Matrix operator*(double s, Matrix m);
+Matrix operator-(Matrix m);
+
+/// Dense matrix product (ikj loop order for cache friendliness).
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix * column-vector.
+Vector operator*(const Matrix& m, const Vector& v);
+
+/// Row-vector * matrix (the natural operation on stationary vectors).
+Vector operator*(const Vector& v, const Matrix& m);
+
+// --- vector helpers -------------------------------------------------------
+
+/// Inner product; throws on length mismatch.
+double dot(const Vector& a, const Vector& b);
+
+/// Sum of entries (v . ones).
+double sum(const Vector& v) noexcept;
+
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector v, double s);
+Vector operator*(double s, Vector v);
+
+/// Column vector of n ones (the LAQT epsilon vector).
+Vector ones(std::size_t n);
+
+// --- norms ----------------------------------------------------------------
+
+/// Max absolute row sum.
+double norm_inf(const Matrix& m) noexcept;
+/// Max absolute column sum.
+double norm_1(const Matrix& m) noexcept;
+/// Frobenius norm.
+double norm_fro(const Matrix& m) noexcept;
+/// Max |v_i|.
+double norm_inf(const Vector& v) noexcept;
+/// Sum |v_i|.
+double norm_1(const Vector& v) noexcept;
+
+/// max_ij |a_ij - b_ij|; matrices must have equal shape.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+double max_abs_diff(const Vector& a, const Vector& b);
+
+/// Pretty-printer used in error paths and debugging.
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace performa::linalg

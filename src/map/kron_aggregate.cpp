@@ -1,0 +1,48 @@
+#include "map/kron_aggregate.h"
+
+#include "linalg/kron.h"
+
+namespace performa::map {
+
+Mmpp kron_aggregate(const ServerModel& server, unsigned n_servers) {
+  PERFORMA_EXPECTS(n_servers >= 1, "kron_aggregate: need at least 1 server");
+  const Mmpp& one = server.mmpp();
+
+  Matrix q = one.generator();
+  Vector rates = one.rates();
+  for (unsigned k = 1; k < n_servers; ++k) {
+    q = linalg::kron_sum(q, one.generator());
+    // Rates are the diagonal of L_{k+1} = L_k ⊕ L1: they add across servers.
+    Vector next(rates.size() * one.dim());
+    for (std::size_t i = 0; i < rates.size(); ++i)
+      for (std::size_t j = 0; j < one.dim(); ++j)
+        next[i * one.dim() + j] = rates[i] + one.rates()[j];
+    rates = std::move(next);
+  }
+  return Mmpp(std::move(q), std::move(rates));
+}
+
+std::size_t kron_state_count(const ServerModel& server, unsigned n_servers) {
+  std::size_t count = 1;
+  for (unsigned k = 0; k < n_servers; ++k) count *= server.dim();
+  return count;
+}
+
+Mmpp heterogeneous_aggregate(const std::vector<ServerModel>& servers) {
+  PERFORMA_EXPECTS(!servers.empty(),
+                   "heterogeneous_aggregate: need at least 1 server");
+  Matrix q = servers.front().mmpp().generator();
+  Vector rates = servers.front().mmpp().rates();
+  for (std::size_t s = 1; s < servers.size(); ++s) {
+    const Mmpp& next = servers[s].mmpp();
+    q = linalg::kron_sum(q, next.generator());
+    Vector combined(rates.size() * next.dim());
+    for (std::size_t i = 0; i < rates.size(); ++i)
+      for (std::size_t j = 0; j < next.dim(); ++j)
+        combined[i * next.dim() + j] = rates[i] + next.rates()[j];
+    rates = std::move(combined);
+  }
+  return Mmpp(std::move(q), std::move(rates));
+}
+
+}  // namespace performa::map

@@ -1,0 +1,32 @@
+// N-server aggregation by Kronecker sums (the paper's Eq. for Q_N, L_N):
+//
+//   Q_N = Q1 ⊕ Q1 ⊕ ... ⊕ Q1,    L_N = L1 ⊕ L1 ⊕ ... ⊕ L1.
+//
+// The state space distinguishes servers and therefore has size m^N for
+// m per-server phases. Exact but exponential in N -- use the lumped
+// construction (lumped_aggregate.h) for anything beyond small N; the two
+// are verified against each other in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "map/server_model.h"
+
+namespace performa::map {
+
+/// MMPP of N independent, statistically identical servers, full
+/// (distinguishable) product state space.
+Mmpp kron_aggregate(const ServerModel& server, unsigned n_servers);
+
+/// State-space size of the Kronecker form: dim(server)^N.
+std::size_t kron_state_count(const ServerModel& server, unsigned n_servers);
+
+/// Aggregation of *heterogeneous* servers (different speeds, fault and
+/// repair processes): the paper assumes statistically identical nodes,
+/// but the Kronecker construction does not care. No lumping is possible
+/// here, so the state space is the full product -- keep the cluster
+/// small. Answers design questions like "two reliable nodes or three
+/// flaky ones?".
+Mmpp heterogeneous_aggregate(const std::vector<ServerModel>& servers);
+
+}  // namespace performa::map

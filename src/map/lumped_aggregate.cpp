@@ -1,0 +1,124 @@
+#include "map/lumped_aggregate.h"
+
+#include <map>
+#include <utility>
+
+namespace performa::map {
+
+namespace {
+
+// Ordered map from occupancy to index; construction-time only.
+using IndexMap = std::map<Occupancy, std::size_t>;
+
+IndexMap make_index(const std::vector<Occupancy>& states) {
+  IndexMap idx;
+  for (std::size_t i = 0; i < states.size(); ++i) idx.emplace(states[i], i);
+  return idx;
+}
+
+}  // namespace
+
+std::vector<Occupancy> LumpedAggregate::enumerate(std::size_t phases,
+                                                  unsigned n) {
+  std::vector<Occupancy> out;
+  Occupancy current(phases, 0);
+  // Recursive enumeration of compositions of n into `phases` parts.
+  auto rec = [&](auto&& self, std::size_t pos, unsigned remaining) -> void {
+    if (pos + 1 == phases) {
+      current[pos] = remaining;
+      out.push_back(current);
+      return;
+    }
+    for (unsigned k = 0; k <= remaining; ++k) {
+      current[pos] = k;
+      self(self, pos + 1, remaining - k);
+    }
+  };
+  rec(rec, 0, n);
+  return out;
+}
+
+Mmpp LumpedAggregate::build(const ServerModel& server,
+                            const std::vector<Occupancy>& states) {
+  const Mmpp& one = server.mmpp();
+  const std::size_t m = one.dim();
+  const std::size_t n_states = states.size();
+  const IndexMap index = make_index(states);
+
+  Matrix q(n_states, n_states, 0.0);
+  Vector rates(n_states, 0.0);
+
+  for (std::size_t si = 0; si < n_states; ++si) {
+    const Occupancy& occ = states[si];
+    double diag = 0.0;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (occ[s] == 0) continue;
+      rates[si] += occ[s] * one.rates()[s];
+      for (std::size_t t = 0; t < m; ++t) {
+        if (t == s) continue;
+        const double rate = occ[s] * one.generator()(s, t);
+        if (rate <= 0.0) continue;
+        Occupancy next = occ;
+        --next[s];
+        ++next[t];
+        q(si, index.at(next)) += rate;
+        diag += rate;
+      }
+    }
+    q(si, si) = -diag;
+  }
+  return Mmpp(std::move(q), std::move(rates));
+}
+
+LumpedAggregate::LumpedAggregate(const ServerModel& server, unsigned n_servers)
+    : n_servers_(n_servers),
+      down_dim_(server.down_dim()),
+      states_(enumerate(server.dim(), n_servers)),
+      mmpp_(build(server, states_)) {
+  PERFORMA_EXPECTS(n_servers >= 1, "LumpedAggregate: need at least 1 server");
+}
+
+const Occupancy& LumpedAggregate::occupancy(std::size_t idx) const {
+  PERFORMA_EXPECTS(idx < states_.size(),
+                   "LumpedAggregate::occupancy: index out of range");
+  return states_[idx];
+}
+
+std::size_t LumpedAggregate::index_of(const Occupancy& occ) const {
+  PERFORMA_EXPECTS(occ.size() == states_.front().size(),
+                   "LumpedAggregate::index_of: wrong occupancy length");
+  unsigned total = 0;
+  for (unsigned c : occ) total += c;
+  PERFORMA_EXPECTS(total == n_servers_,
+                   "LumpedAggregate::index_of: occupancy does not sum to N");
+  // Linear scan is fine: only used in tests/diagnostics.
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == occ) return i;
+  }
+  throw InvalidArgument("LumpedAggregate::index_of: state not found");
+}
+
+unsigned LumpedAggregate::up_count(std::size_t idx) const {
+  const Occupancy& occ = occupancy(idx);
+  unsigned up = 0;
+  for (std::size_t s = down_dim_; s < occ.size(); ++s) up += occ[s];
+  return up;
+}
+
+Vector LumpedAggregate::up_count_distribution() const {
+  const Vector pi = mmpp_.stationary_phases();
+  Vector dist(n_servers_ + 1, 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i) dist[up_count(i)] += pi[i];
+  return dist;
+}
+
+std::size_t lumped_state_count(std::size_t phases, unsigned n_servers) {
+  // C(N + m - 1, m - 1) computed multiplicatively.
+  std::size_t result = 1;
+  for (std::size_t k = 1; k < phases; ++k) {
+    result = result * (n_servers + k) / k;
+  }
+  return result;
+}
+
+}  // namespace performa::map

@@ -1,0 +1,61 @@
+// N-server aggregation on the lumped (exchangeable) state space.
+//
+// Because the servers are statistically identical and the modulated rate
+// only depends on *how many* servers occupy each phase, the m^N product
+// chain is lumpable onto the space of occupancy vectors
+// (n_0, ..., n_{m-1}) with sum n_s = N -- size C(N+m-1, m-1). This is the
+// "more efficient representation" the paper alludes to in Sec. 2.2, and it
+// is what makes N = 5..20 with multi-phase repair distributions tractable.
+//
+// Transition structure: a per-server transition s -> s' with rate q(s,s')
+// becomes an occupancy transition n -> n - e_s + e_s' with rate n_s*q(s,s');
+// the modulated rate of state n is sum_s n_s * r(s).
+#pragma once
+
+#include <vector>
+
+#include "map/server_model.h"
+
+namespace performa::map {
+
+/// Occupancy vector: entry s counts the servers currently in phase s.
+using Occupancy = std::vector<unsigned>;
+
+/// The lumped state space plus its MMPP.
+class LumpedAggregate {
+ public:
+  LumpedAggregate(const ServerModel& server, unsigned n_servers);
+
+  const Mmpp& mmpp() const noexcept { return mmpp_; }
+  unsigned n_servers() const noexcept { return n_servers_; }
+  std::size_t state_count() const noexcept { return states_.size(); }
+
+  /// Occupancy vector of lumped state `idx`.
+  const Occupancy& occupancy(std::size_t idx) const;
+
+  /// Lumped state index for an occupancy vector; throws InvalidArgument
+  /// if the vector does not sum to N or has the wrong length.
+  std::size_t index_of(const Occupancy& occ) const;
+
+  /// Number of servers in an UP phase in state `idx`.
+  unsigned up_count(std::size_t idx) const;
+
+  /// Stationary distribution of the number of UP servers: entry k is the
+  /// long-run fraction of time exactly k servers are UP.
+  Vector up_count_distribution() const;
+
+ private:
+  unsigned n_servers_;
+  std::size_t down_dim_;  // phases [0, down_dim_) are DOWN phases
+  std::vector<Occupancy> states_;
+  Mmpp mmpp_;
+
+  static std::vector<Occupancy> enumerate(std::size_t phases, unsigned n);
+  static Mmpp build(const ServerModel& server,
+                    const std::vector<Occupancy>& states);
+};
+
+/// Lumped state count C(N+m-1, m-1) without building the space.
+std::size_t lumped_state_count(std::size_t phases, unsigned n_servers);
+
+}  // namespace performa::map

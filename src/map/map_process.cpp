@@ -1,0 +1,114 @@
+#include "map/map_process.h"
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/ctmc.h"
+#include "linalg/kron.h"
+#include "linalg/lu.h"
+
+namespace performa::map {
+
+Map::Map(Matrix d0, Matrix d1) : d0_(std::move(d0)), d1_(std::move(d1)) {
+  PERFORMA_EXPECTS(d0_.is_square() && !d0_.empty(),
+                   "Map: D0 must be square and nonempty");
+  PERFORMA_EXPECTS(d1_.rows() == d0_.rows() && d1_.cols() == d0_.cols(),
+                   "Map: D0/D1 shape mismatch");
+  for (double x : d1_.data()) {
+    PERFORMA_EXPECTS(x >= -1e-12, "Map: D1 must be non-negative");
+  }
+  for (std::size_t i = 0; i < d0_.rows(); ++i) {
+    for (std::size_t j = 0; j < d0_.cols(); ++j) {
+      if (i != j) {
+        PERFORMA_EXPECTS(d0_(i, j) >= -1e-12,
+                         "Map: D0 off-diagonal entries must be >= 0");
+      }
+    }
+  }
+  linalg::validate_generator(generator());
+  PERFORMA_EXPECTS(mean_rate() > 0.0, "Map: event rate must be positive");
+}
+
+Matrix Map::generator() const { return d0_ + d1_; }
+
+Vector Map::stationary_phases() const {
+  return linalg::stationary_distribution(generator());
+}
+
+double Map::mean_rate() const {
+  const Vector pi = stationary_phases();
+  return linalg::dot(pi, d1_ * linalg::ones(dim()));
+}
+
+Vector Map::embedded_phases() const {
+  // Phase distribution seen just after an event: pi D1 / (pi D1 e).
+  const Vector pi = stationary_phases();
+  Vector pe = pi * d1_;
+  const double total = linalg::sum(pe);
+  for (double& x : pe) x /= total;
+  return pe;
+}
+
+double Map::interarrival_scv() const {
+  // Interarrival time from the embedded phase vector is ME<p_e, -D0>.
+  const linalg::Lu neg_d0(-1.0 * d0_);
+  const Vector pe = embedded_phases();
+  const Vector v1 = neg_d0.solve(linalg::ones(dim()));
+  const Vector v2 = neg_d0.solve(v1);
+  const double m1 = linalg::dot(pe, v1);
+  const double m2 = 2.0 * linalg::dot(pe, v2);
+  return m2 / (m1 * m1) - 1.0;
+}
+
+double Map::interarrival_correlation(unsigned lag) const {
+  PERFORMA_EXPECTS(lag >= 1, "interarrival_correlation: lag must be >= 1");
+  const linalg::Lu neg_d0(-1.0 * d0_);
+  const Vector pe = embedded_phases();
+  const Vector v1 = neg_d0.solve(linalg::ones(dim()));
+  const Vector v2 = neg_d0.solve(v1);
+  const double m1 = linalg::dot(pe, v1);
+  const double m2 = 2.0 * linalg::dot(pe, v2);
+  const double var = m2 - m1 * m1;
+  if (var <= 0.0) return 0.0;
+
+  // P = (-D0)^{-1} D1: phase transition across one arrival.
+  const Matrix p = neg_d0.solve(d1_);
+  // E[X_0 X_lag] = p_e (-D0)^{-1} P^lag (-D0)^{-1} e.
+  Vector w = v1;             // (-D0)^{-1} e
+  for (unsigned k = 0; k < lag; ++k) w = p * w;
+  const double joint = linalg::dot(pe, neg_d0.solve(w));
+  // Careful with ordering: (-D0)^{-1} P^lag (-D0)^{-1} e; we computed
+  // P^lag (-D0)^{-1} e first, then applied (-D0)^{-1} once more.
+  return (joint - m1 * m1) / var;
+}
+
+Map poisson_map(double rate) {
+  PERFORMA_EXPECTS(rate > 0.0, "poisson_map: rate must be positive");
+  return Map(Matrix{{-rate}}, Matrix{{rate}});
+}
+
+Map renewal_map(const medist::MeDistribution& interarrival) {
+  PERFORMA_EXPECTS(interarrival.is_phase_type(),
+                   "renewal_map: interarrival distribution must be "
+                   "phase-type for a valid MAP representation");
+  const Matrix& b = interarrival.rate_matrix();
+  const Vector exits = interarrival.exit_rates();
+  const Vector& p = interarrival.entry_vector();
+  const std::size_t n = interarrival.dim();
+
+  Matrix d1(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d1(i, j) = exits[i] * p[j];
+  return Map(-1.0 * b, std::move(d1));
+}
+
+Map as_map(const Mmpp& mmpp) {
+  return Map(mmpp.generator() - mmpp.rate_matrix(), mmpp.rate_matrix());
+}
+
+Map superpose(const Map& a, const Map& b) {
+  return Map(linalg::kron_sum(a.d0(), b.d0()),
+             linalg::kron_sum(a.d1(), b.d1()));
+}
+
+}  // namespace performa::map

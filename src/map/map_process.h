@@ -1,0 +1,68 @@
+// Markovian Arrival Processes (MAPs) in the (D0, D1) notation of Neuts:
+// D0 carries the phase transitions without an event, D1 the transitions
+// that emit an event; D0 + D1 is the generator of the phase process.
+//
+// MAPs generalize both Poisson processes and MMPPs and are the vehicle
+// for the paper's Sec. 2.4 extensions: non-exponential task arrival
+// processes (any ME renewal process is a MAP) and service processes in
+// which some transitions also remove a task (the analytic Discard model).
+#pragma once
+
+#include "map/mmpp.h"
+#include "medist/me_dist.h"
+
+namespace performa::map {
+
+/// A Markovian Arrival Process <D0, D1>.
+class Map {
+ public:
+  /// Throws InvalidArgument unless D0 and D1 are square, equally sized,
+  /// D1 >= 0 elementwise, D0 has non-negative off-diagonal entries, and
+  /// D0 + D1 has zero row sums.
+  Map(Matrix d0, Matrix d1);
+
+  const Matrix& d0() const noexcept { return d0_; }
+  const Matrix& d1() const noexcept { return d1_; }
+  std::size_t dim() const noexcept { return d0_.rows(); }
+
+  /// Generator of the modulating phase process: D0 + D1.
+  Matrix generator() const;
+
+  /// Stationary phase distribution of the modulating process.
+  Vector stationary_phases() const;
+
+  /// Long-run event rate: pi D1 e.
+  double mean_rate() const;
+
+  /// Squared coefficient of variation of the stationary interarrival
+  /// time (from the moments of the embedded renewal-like process:
+  /// the interarrival distribution starting from the post-event phase
+  /// vector is ME with <p_e, -D0>).
+  double interarrival_scv() const;
+
+  /// Lag-k autocorrelation of successive interarrival times; zero for
+  /// renewal processes (Poisson, ME-renewal), nonzero for MMPPs.
+  double interarrival_correlation(unsigned lag = 1) const;
+
+ private:
+  Matrix d0_;
+  Matrix d1_;
+
+  /// Phase distribution just after an arrival (stationary embedded).
+  Vector embedded_phases() const;
+};
+
+/// Poisson(rate) as a 1-phase MAP.
+Map poisson_map(double rate);
+
+/// Renewal process with matrix-exponential interarrival times <p, B>:
+/// D0 = -B, D1 = (B e) p. Requires a phase-type representation.
+Map renewal_map(const medist::MeDistribution& interarrival);
+
+/// An MMPP <Q, L> as a MAP: D0 = Q - diag(L), D1 = diag(L).
+Map as_map(const Mmpp& mmpp);
+
+/// Superposition of two independent MAPs (Kronecker-sum construction).
+Map superpose(const Map& a, const Map& b);
+
+}  // namespace performa::map

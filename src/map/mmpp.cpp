@@ -1,0 +1,35 @@
+#include "map/mmpp.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "linalg/ctmc.h"
+
+namespace performa::map {
+
+Mmpp::Mmpp(Matrix q, Vector rates) : q_(std::move(q)), rates_(std::move(rates)) {
+  linalg::validate_generator(q_);
+  PERFORMA_EXPECTS(rates_.size() == q_.rows(),
+                   "Mmpp: rate vector length must match generator order");
+  for (double r : rates_) {
+    PERFORMA_EXPECTS(r >= 0.0, "Mmpp: rates must be non-negative");
+  }
+}
+
+Matrix Mmpp::rate_matrix() const { return Matrix::diag(rates_); }
+
+Vector Mmpp::stationary_phases() const {
+  return linalg::stationary_distribution(q_);
+}
+
+double Mmpp::mean_rate() const { return linalg::dot(stationary_phases(), rates_); }
+
+double Mmpp::max_rate() const noexcept {
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+double Mmpp::min_rate() const noexcept {
+  return *std::min_element(rates_.begin(), rates_.end());
+}
+
+}  // namespace performa::map

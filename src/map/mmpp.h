@@ -1,0 +1,46 @@
+// Markov-Modulated Poisson Process: a CTMC phase process <Q> plus a
+// per-phase Poisson event rate vector.
+//
+// In the cluster model the MMPP describes *service completions* (the
+// aggregated N-server process of Sec. 2.2); in the N-Burst teletraffic
+// dual it describes *arrivals*. The same object serves both.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace performa::map {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// An MMPP <Q, rates>: while the modulating chain sits in phase i, events
+/// occur as a Poisson process with rate rates[i].
+class Mmpp {
+ public:
+  /// Throws InvalidArgument if Q is not a generator, the rate vector has
+  /// the wrong length, or any rate is negative.
+  Mmpp(Matrix q, Vector rates);
+
+  const Matrix& generator() const noexcept { return q_; }
+  const Vector& rates() const noexcept { return rates_; }
+  std::size_t dim() const noexcept { return rates_.size(); }
+
+  /// Diagonal rate matrix L = diag(rates).
+  Matrix rate_matrix() const;
+
+  /// Stationary distribution of the modulating chain (GTH).
+  Vector stationary_phases() const;
+
+  /// Long-run average event rate: pi . rates.
+  double mean_rate() const;
+
+  /// Largest and smallest per-phase rate (the nu_N .. nu_0 ladder ends).
+  double max_rate() const noexcept;
+  double min_rate() const noexcept;
+
+ private:
+  Matrix q_;
+  Vector rates_;
+};
+
+}  // namespace performa::map

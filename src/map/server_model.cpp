@@ -1,0 +1,65 @@
+#include "map/server_model.h"
+
+namespace performa::map {
+
+ServerModel::ServerModel(const medist::MeDistribution& up,
+                         const medist::MeDistribution& down, double nu_p,
+                         double delta)
+    : down_dim_(down.dim()),
+      up_dim_(up.dim()),
+      nu_p_(nu_p),
+      delta_(delta),
+      mmpp_(build(up, down, nu_p, delta)) {
+  PERFORMA_EXPECTS(nu_p > 0.0, "ServerModel: nu_p must be positive");
+  PERFORMA_EXPECTS(delta >= 0.0 && delta <= 1.0,
+                   "ServerModel: delta must lie in [0,1]");
+}
+
+Mmpp ServerModel::build(const medist::MeDistribution& up,
+                        const medist::MeDistribution& down, double nu_p,
+                        double delta) {
+  const std::size_t nd = down.dim();
+  const std::size_t nu = up.dim();
+  const std::size_t n = nd + nu;
+
+  const Matrix& bd = down.rate_matrix();
+  const Matrix& bu = up.rate_matrix();
+  const Vector exit_d = down.exit_rates();  // B_down e
+  const Vector exit_u = up.exit_rates();    // B_up e
+  const Vector& pd = down.entry_vector();
+  const Vector& pu = up.entry_vector();
+
+  Matrix q(n, n, 0.0);
+  // Top-left: -B_down (repair phase transitions).
+  for (std::size_t i = 0; i < nd; ++i)
+    for (std::size_t j = 0; j < nd; ++j) q(i, j) = -bd(i, j);
+  // Top-right: repair completion, re-entering an UP phase: (B_down e) p_up.
+  for (std::size_t i = 0; i < nd; ++i)
+    for (std::size_t j = 0; j < nu; ++j) q(i, nd + j) = exit_d[i] * pu[j];
+  // Bottom-right: -B_up.
+  for (std::size_t i = 0; i < nu; ++i)
+    for (std::size_t j = 0; j < nu; ++j) q(nd + i, nd + j) = -bu(i, j);
+  // Bottom-left: failure, entering a DOWN phase: (B_up e) p_down.
+  for (std::size_t i = 0; i < nu; ++i)
+    for (std::size_t j = 0; j < nd; ++j) q(nd + i, j) = exit_u[i] * pd[j];
+
+  Vector rates(n);
+  for (std::size_t i = 0; i < nd; ++i) rates[i] = delta * nu_p;
+  for (std::size_t i = 0; i < nu; ++i) rates[nd + i] = nu_p;
+
+  return Mmpp(std::move(q), std::move(rates));
+}
+
+double ServerModel::availability() const {
+  const Vector pi = mmpp_.stationary_phases();
+  double up_mass = 0.0;
+  for (std::size_t i = down_dim_; i < dim(); ++i) up_mass += pi[i];
+  return up_mass;
+}
+
+double ServerModel::mean_service_rate() const {
+  const double a = availability();
+  return nu_p_ * (a + delta_ * (1.0 - a));
+}
+
+}  // namespace performa::map

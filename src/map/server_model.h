@@ -1,0 +1,63 @@
+// Single-server modulating chain of the DSN'07 cluster model (Sec. 2.2).
+//
+// A server alternates between matrix-exponential UP periods <p_up, B_up>
+// and DOWN (repair) periods <p_down, B_down>. Its modulating generator,
+// with DOWN phases ordered first (as in the paper), is
+//
+//        [ -B_down              B_down e p_up ]
+//   Q1 = [                                     ]
+//        [  B_up e p_down      -B_up           ]
+//
+// and the modulated service-completion rates are delta*nu_p in every DOWN
+// phase and nu_p in every UP phase (the diagonal of L1).
+#pragma once
+
+#include "map/mmpp.h"
+#include "medist/me_dist.h"
+
+namespace performa::map {
+
+/// One cluster node as an MMPP building block.
+class ServerModel {
+ public:
+  /// `nu_p`: service rate while UP; `delta` in [0,1]: degradation factor
+  /// while DOWN (0 = crash).
+  ServerModel(const medist::MeDistribution& up,
+              const medist::MeDistribution& down, double nu_p, double delta);
+
+  /// Number of DOWN phases (they occupy indices [0, down_dim)).
+  std::size_t down_dim() const noexcept { return down_dim_; }
+  /// Number of UP phases (indices [down_dim, down_dim+up_dim)).
+  std::size_t up_dim() const noexcept { return up_dim_; }
+  std::size_t dim() const noexcept { return down_dim_ + up_dim_; }
+
+  double nu_p() const noexcept { return nu_p_; }
+  double delta() const noexcept { return delta_; }
+
+  /// The single-server MMPP <Q1, diag(L1)>.
+  const Mmpp& mmpp() const noexcept { return mmpp_; }
+
+  /// True at phase index i iff i is an UP phase.
+  bool is_up_phase(std::size_t i) const noexcept { return i >= down_dim_; }
+
+  /// Steady-state availability computed from the modulating chain; by the
+  /// renewal-reward theorem this equals MTTF / (MTTF + MTTR).
+  double availability() const;
+
+  /// Long-run average service rate of one server:
+  /// nu_p * (A + delta * (1 - A)).
+  double mean_service_rate() const;
+
+ private:
+  static Mmpp build(const medist::MeDistribution& up,
+                    const medist::MeDistribution& down, double nu_p,
+                    double delta);
+
+  std::size_t down_dim_;
+  std::size_t up_dim_;
+  double nu_p_;
+  double delta_;
+  Mmpp mmpp_;
+};
+
+}  // namespace performa::map

@@ -1,0 +1,157 @@
+#include "map/server_task_model.h"
+
+#include <map>
+
+namespace performa::map {
+
+ServerTaskModel::ServerTaskModel(const medist::MeDistribution& up,
+                                 const medist::MeDistribution& down,
+                                 double nu_p, double delta,
+                                 const medist::MeDistribution& task)
+    : server_dim_(up.dim() + down.dim()),
+      task_dim_(task.dim()),
+      map_(build(up, down, nu_p, delta, task)) {}
+
+std::size_t ServerTaskModel::phase_index(std::size_t server_phase,
+                                         std::size_t task_phase) const {
+  PERFORMA_EXPECTS(server_phase < server_dim_ && task_phase < task_dim_,
+                   "ServerTaskModel::phase_index: out of range");
+  return server_phase * task_dim_ + task_phase;
+}
+
+Map ServerTaskModel::build(const medist::MeDistribution& up,
+                           const medist::MeDistribution& down, double nu_p,
+                           double delta,
+                           const medist::MeDistribution& task) {
+  PERFORMA_EXPECTS(task.is_phase_type(),
+                   "ServerTaskModel: task distribution must be phase-type");
+  // Server modulating chain (DOWN phases first, as in ServerModel). The
+  // task distribution is a *time* distribution at full speed, so the task
+  // phase process is scaled by 1 while UP and by delta while DOWN.
+  const ServerModel server(up, down, nu_p, delta);
+  const Matrix& q1 = server.mmpp().generator();
+  const std::size_t ms = server.dim();
+  const std::size_t mt = task.dim();
+  const std::size_t n = ms * mt;
+
+  const Matrix& b_task = task.rate_matrix();
+  const Vector exits = task.exit_rates();
+  const Vector& entry = task.entry_vector();
+
+  auto speed = [&](std::size_t s) {
+    return server.is_up_phase(s) ? 1.0 : delta;
+  };
+
+  Matrix d0(n, n, 0.0);
+  Matrix d1(n, n, 0.0);
+  for (std::size_t s = 0; s < ms; ++s) {
+    for (std::size_t j = 0; j < mt; ++j) {
+      const std::size_t row = s * mt + j;
+      // Server phase transitions (task phase untouched).
+      for (std::size_t s2 = 0; s2 < ms; ++s2) {
+        if (s2 != s) d0(row, s2 * mt + j) += q1(s, s2);
+      }
+      // Task phase progress at the current speed: generator -B_task.
+      const double c = speed(s);
+      double out = -q1(s, s);
+      for (std::size_t j2 = 0; j2 < mt; ++j2) {
+        if (j2 == j) continue;
+        const double rate = c * (-b_task(j, j2));
+        if (rate > 0.0) {
+          d0(row, s * mt + j2) += rate;
+          out += rate;
+        }
+      }
+      // Completion (marked event): next task starts in a fresh phase.
+      const double complete = c * exits[j];
+      if (complete > 0.0) {
+        for (std::size_t j2 = 0; j2 < mt; ++j2) {
+          if (entry[j2] > 0.0) d1(row, s * mt + j2) = complete * entry[j2];
+        }
+        out += complete;
+      }
+      d0(row, row) = -out;
+    }
+  }
+  return Map(std::move(d0), std::move(d1));
+}
+
+namespace {
+
+std::vector<Occupancy> enumerate_occupancies(std::size_t phases, unsigned n) {
+  std::vector<Occupancy> out;
+  Occupancy current(phases, 0);
+  auto rec = [&](auto&& self, std::size_t pos, unsigned remaining) -> void {
+    if (pos + 1 == phases) {
+      current[pos] = remaining;
+      out.push_back(current);
+      return;
+    }
+    for (unsigned k = 0; k <= remaining; ++k) {
+      current[pos] = k;
+      self(self, pos + 1, remaining - k);
+    }
+  };
+  rec(rec, 0, n);
+  return out;
+}
+
+}  // namespace
+
+LumpedMapAggregate::LumpedMapAggregate(const Map& per_server,
+                                       unsigned n_servers)
+    : n_servers_(n_servers),
+      states_(enumerate_occupancies(per_server.dim(), n_servers)),
+      map_(build(per_server, states_)) {
+  PERFORMA_EXPECTS(n_servers >= 1, "LumpedMapAggregate: need >= 1 server");
+}
+
+const Occupancy& LumpedMapAggregate::occupancy(std::size_t idx) const {
+  PERFORMA_EXPECTS(idx < states_.size(),
+                   "LumpedMapAggregate::occupancy: index out of range");
+  return states_[idx];
+}
+
+Map LumpedMapAggregate::build(const Map& per_server,
+                              const std::vector<Occupancy>& states) {
+  const std::size_t m = per_server.dim();
+  const std::size_t n_states = states.size();
+  std::map<Occupancy, std::size_t> index;
+  for (std::size_t i = 0; i < n_states; ++i) index.emplace(states[i], i);
+
+  Matrix d0(n_states, n_states, 0.0);
+  Matrix d1(n_states, n_states, 0.0);
+  for (std::size_t si = 0; si < n_states; ++si) {
+    const Occupancy& occ = states[si];
+    double out = 0.0;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (occ[s] == 0) continue;
+      for (std::size_t t = 0; t < m; ++t) {
+        // Unmarked per-server transitions (D0 off-diagonal).
+        if (t != s) {
+          const double rate0 = occ[s] * per_server.d0()(s, t);
+          if (rate0 > 0.0) {
+            Occupancy next = occ;
+            --next[s];
+            ++next[t];
+            d0(si, index.at(next)) += rate0;
+            out += rate0;
+          }
+        }
+        // Marked transitions (completions) -- t == s allowed.
+        const double rate1 = occ[s] * per_server.d1()(s, t);
+        if (rate1 > 0.0) {
+          Occupancy next = occ;
+          --next[s];
+          ++next[t];
+          d1(si, index.at(next)) += rate1;
+          out += rate1;
+        }
+      }
+    }
+    d0(si, si) = -out;
+  }
+  return Map(std::move(d0), std::move(d1));
+}
+
+}  // namespace performa::map

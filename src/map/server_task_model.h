@@ -1,0 +1,77 @@
+// Per-server model with phase-type task times (paper Sec. 2.4, bullet
+// "Hyperexponential task times"): the state of one server is the pair
+// (server phase, task phase). Task phases advance at the server's current
+// speed (nu_p while UP, delta*nu_p while DOWN -- zero for crashes), and a
+// task completion is a *marked* transition that immediately starts the
+// next (fictional, under load independence) task in a fresh phase drawn
+// from the task entry vector. The resulting per-server process is a MAP
+// whose marked events are service completions.
+//
+// With exponential tasks (one task phase) this collapses exactly to the
+// MMPP of server_model.h.
+#pragma once
+
+#include "map/map_process.h"
+#include "map/lumped_aggregate.h"
+#include "map/server_model.h"
+
+namespace performa::map {
+
+/// One cluster node with phase-type task times, as a service MAP.
+class ServerTaskModel {
+ public:
+  /// `task` must be a phase-type distribution with mean 1/nu_p to match
+  /// the paper's normalization (any positive mean is accepted; the speed
+  /// interpretation is: task = required work at UP speed).
+  ServerTaskModel(const medist::MeDistribution& up,
+                  const medist::MeDistribution& down, double nu_p,
+                  double delta, const medist::MeDistribution& task);
+
+  /// Combined phase count: (down_dim + up_dim) * task_dim.
+  std::size_t dim() const noexcept { return map_.dim(); }
+  std::size_t server_dim() const noexcept { return server_dim_; }
+  std::size_t task_dim() const noexcept { return task_dim_; }
+
+  /// The per-server service MAP <D0, D1>.
+  const Map& service_map() const noexcept { return map_; }
+
+  /// Phase index helper: phase = server_phase * task_dim + task_phase.
+  std::size_t phase_index(std::size_t server_phase,
+                          std::size_t task_phase) const;
+
+  /// Long-run completion rate of one (always-busy) server.
+  double mean_completion_rate() const { return map_.mean_rate(); }
+
+ private:
+  std::size_t server_dim_;
+  std::size_t task_dim_;
+  Map map_;
+
+  static Map build(const medist::MeDistribution& up,
+                   const medist::MeDistribution& down, double nu_p,
+                   double delta, const medist::MeDistribution& task);
+};
+
+/// N-server aggregation of a per-server MAP on the lumped (exchangeable)
+/// occupancy state space -- the MAP analogue of LumpedAggregate. Marked
+/// (D1) transitions of any single server are marked transitions of the
+/// aggregate.
+class LumpedMapAggregate {
+ public:
+  LumpedMapAggregate(const Map& per_server, unsigned n_servers);
+
+  const Map& aggregate() const noexcept { return map_; }
+  unsigned n_servers() const noexcept { return n_servers_; }
+  std::size_t state_count() const noexcept { return states_.size(); }
+  const Occupancy& occupancy(std::size_t idx) const;
+
+ private:
+  unsigned n_servers_;
+  std::vector<Occupancy> states_;
+  Map map_;
+
+  static Map build(const Map& per_server,
+                   const std::vector<Occupancy>& states);
+};
+
+}  // namespace performa::map

@@ -1,0 +1,65 @@
+#include "medist/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace performa::medist {
+
+SampleMoments sample_moments(const std::vector<double>& samples) {
+  PERFORMA_EXPECTS(!samples.empty(), "sample_moments: empty sample");
+  SampleMoments m;
+  m.count = samples.size();
+  for (double x : samples) {
+    PERFORMA_EXPECTS(x > 0.0, "sample_moments: observations must be > 0");
+    m.m1 += x;
+    m.m2 += x * x;
+    m.m3 += x * x * x;
+  }
+  const double n = static_cast<double>(m.count);
+  m.m1 /= n;
+  m.m2 /= n;
+  m.m3 /= n;
+  return m;
+}
+
+Hyp2Fit fit_hyp2_samples(const std::vector<double>& samples) {
+  const SampleMoments m = sample_moments(samples);
+  return fit_hyp2_moments(m.m1, m.m2, m.m3);
+}
+
+double hill_tail_exponent(std::vector<double> samples, std::size_t k) {
+  PERFORMA_EXPECTS(k >= 2 && k < samples.size(),
+                   "hill_tail_exponent: need 2 <= k < sample size");
+  // Partial sort: the k+1 largest observations to the front.
+  std::partial_sort(samples.begin(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(k + 1),
+                    samples.end(), std::greater<double>());
+  const double threshold = samples[k];
+  PERFORMA_EXPECTS(threshold > 0.0,
+                   "hill_tail_exponent: non-positive threshold");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += std::log(samples[i] / threshold);
+  }
+  if (acc <= 0.0) {
+    throw NumericalError(
+        "hill_tail_exponent: degenerate upper order statistics");
+  }
+  return static_cast<double>(k) / acc;
+}
+
+TptSpec fit_tpt_from_samples(const std::vector<double>& samples,
+                             unsigned phases, double theta,
+                             std::size_t hill_k) {
+  const SampleMoments m = sample_moments(samples);
+  TptSpec spec;
+  spec.phases = phases;
+  spec.theta = theta;
+  spec.mean = m.m1;
+  spec.alpha = hill_tail_exponent(samples, hill_k);
+  // Validate by construction.
+  (void)make_tpt(spec);
+  return spec;
+}
+
+}  // namespace performa::medist

@@ -1,0 +1,48 @@
+// Fitting repair-time models to measured data. The paper's motivation
+// rests on the empirical observation (Palmer & Mitrani 2005) that real
+// repair durations are fitted far better by hyperexponentials than by
+// exponentials; this module provides the pipeline from a log of repair
+// durations to the distributions the analytic model consumes:
+//
+//   samples -> sample moments -> HYP-2 (3-moment fit)
+//   samples -> Hill tail-exponent estimate -> TPT(alpha, mean)
+#pragma once
+
+#include <vector>
+
+#include "medist/moment_fit.h"
+#include "medist/tpt.h"
+
+namespace performa::medist {
+
+/// First three raw sample moments of positive observations.
+struct SampleMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  std::size_t count = 0;
+
+  double variance() const { return m2 - m1 * m1; }
+  double scv() const { return variance() / (m1 * m1); }
+};
+
+/// Throws InvalidArgument on an empty sample or non-positive entries.
+SampleMoments sample_moments(const std::vector<double>& samples);
+
+/// HYP-2 fitted to the first three sample moments; throws NumericalError
+/// when the sample is under-dispersed (SCV < 1) or otherwise infeasible.
+Hyp2Fit fit_hyp2_samples(const std::vector<double>& samples);
+
+/// Hill estimator of the tail exponent alpha from the `k` largest
+/// observations: alpha_hat = k / sum_{i<=k} ln(x_(n-i+1) / x_(n-k)).
+/// Requires 2 <= k < n. Consistent for power tails; for a truncated
+/// power tail choose k well below the truncation knee.
+double hill_tail_exponent(std::vector<double> samples, std::size_t k);
+
+/// Full pipeline: TPT with the sample mean and the Hill alpha estimate
+/// (theta and the phase count remain modeling choices).
+TptSpec fit_tpt_from_samples(const std::vector<double>& samples,
+                             unsigned phases, double theta,
+                             std::size_t hill_k);
+
+}  // namespace performa::medist

@@ -1,0 +1,84 @@
+#include "medist/moment_fit.h"
+
+#include <cmath>
+
+namespace performa::medist {
+
+MeDistribution Hyp2Fit::to_distribution() const {
+  if (p1 >= 1.0) return exponential_dist(rate1);
+  return hyperexponential_dist(Vector{p1, 1.0 - p1}, Vector{rate1, rate2},
+                               "hyp2-fit");
+}
+
+Hyp2Fit fit_hyp2_moments(double m1, double m2, double m3, double tol) {
+  PERFORMA_EXPECTS(m1 > 0.0 && m2 > 0.0 && m3 > 0.0,
+                   "fit_hyp2_moments: moments must be positive");
+
+  // Work with reduced moments r_k = m_k / k! = p1 u1^k + p2 u2^k, where
+  // u_j = 1/rate_j are the phase means: the problem becomes fitting a
+  // 2-atom discrete distribution on {u1, u2} from its first three power
+  // sums.
+  const double r1 = m1;
+  const double r2 = m2 / 2.0;
+  const double r3 = m3 / 6.0;
+
+  // SCV - 1 = (m2 - 2 m1^2) / m1^2; zero exactly for an exponential.
+  const double scv_excess = m2 / (m1 * m1) - 2.0;
+  if (std::abs(scv_excess) <= tol) {
+    // Borderline: exponential.
+    return Hyp2Fit{1.0, 1.0 / m1, 1.0 / m1};
+  }
+  if (scv_excess < 0.0) {
+    throw NumericalError(
+        "fit_hyp2_moments: SCV < 1, hyperexponential fit infeasible");
+  }
+
+  // u1, u2 are the roots of u^2 - a u + b with the Hankel relations
+  //   a r1 - b = r2
+  //   a r2 - b r1 = r3
+  const double denom = r2 - r1 * r1;
+  const double a = (r3 - r1 * r2) / denom;
+  const double b = a * r1 - r2;
+  const double disc = a * a - 4.0 * b;
+  if (disc <= 0.0) {
+    throw NumericalError(
+        "fit_hyp2_moments: discriminant non-positive, third moment "
+        "inconsistent with a 2-phase hyperexponential");
+  }
+  const double root = std::sqrt(disc);
+  const double u_fast = (a - root) / 2.0;  // smaller mean -> faster phase
+  const double u_slow = (a + root) / 2.0;
+  if (u_fast <= 0.0) {
+    throw NumericalError(
+        "fit_hyp2_moments: fitted phase mean non-positive, moments "
+        "infeasible for HYP-2");
+  }
+  const double p1 = (u_slow - r1) / (u_slow - u_fast);
+  if (p1 <= 0.0 || p1 >= 1.0) {
+    throw NumericalError(
+        "fit_hyp2_moments: fitted entry probability outside (0,1)");
+  }
+  return Hyp2Fit{p1, 1.0 / u_fast, 1.0 / u_slow};
+}
+
+Hyp2Fit fit_hyp2(const MeDistribution& d) {
+  return fit_hyp2_moments(d.moment(1), d.moment(2), d.moment(3));
+}
+
+MeDistribution hyperexp_from_mean_scv(double mean, double scv) {
+  PERFORMA_EXPECTS(mean > 0.0, "hyperexp_from_mean_scv: mean must be positive");
+  PERFORMA_EXPECTS(scv >= 1.0 - 1e-12,
+                   "hyperexp_from_mean_scv: SCV must be >= 1");
+  if (scv <= 1.0 + 1e-12) return exponential_from_mean(mean);
+  // Balanced means: p1 u1 = p2 u2 = mean/2 with u_i the phase means.
+  // Then SCV = 2 p1 p2^{-1}... solving the standard equations gives
+  //   p1 = (1 + sqrt((scv-1)/(scv+1))) / 2,
+  //   rate1 = 2 p1 / mean, rate2 = 2 (1-p1) / mean.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double rate1 = 2.0 * p1 / mean;
+  const double rate2 = 2.0 * (1.0 - p1) / mean;
+  return hyperexponential_dist(Vector{p1, 1.0 - p1}, Vector{rate1, rate2},
+                               "hyp2-scv");
+}
+
+}  // namespace performa::medist

@@ -1,0 +1,39 @@
+// Moment-matching fits.
+//
+// Figure 4/5/6/9 of the paper replace the T-phase TPT repair distribution
+// with a 2-phase hyperexponential (HYP-2) matched to the TPT's first three
+// moments -- fewer phases, better numerical behaviour, same blow-up
+// qualitative structure.
+#pragma once
+
+#include "medist/me_dist.h"
+
+namespace performa::medist {
+
+/// Parameters of a fitted 2-phase hyperexponential.
+struct Hyp2Fit {
+  double p1 = 0.0;      ///< entry probability of phase 1
+  double rate1 = 0.0;   ///< rate of phase 1 (the fast phase)
+  double rate2 = 0.0;   ///< rate of phase 2 (the slow phase)
+
+  MeDistribution to_distribution() const;
+};
+
+/// Fit a HYP-2 to raw moments (m1, m2, m3).
+///
+/// Feasibility requires SCV >= 1 and a third moment large enough for the
+/// induced 2-point distribution of phase means to have real, positive
+/// atoms; otherwise NumericalError is thrown. An SCV within `tol` of 1
+/// collapses to an exponential fit (p1 = 1, rate1 = rate2 = 1/m1).
+Hyp2Fit fit_hyp2_moments(double m1, double m2, double m3, double tol = 1e-9);
+
+/// Convenience: fit a HYP-2 to the first three moments of `d`.
+Hyp2Fit fit_hyp2(const MeDistribution& d);
+
+/// Two-moment HYP-2 fit with balanced means (p1/rate1 = p2/rate2), the
+/// standard way to realize a target mean and SCV >= 1 when no third
+/// moment is prescribed (used for the paper's "HYP-2 task times with
+/// variance 5.3" in Fig. 9). SCV == 1 collapses to an exponential.
+MeDistribution hyperexp_from_mean_scv(double mean, double scv);
+
+}  // namespace performa::medist

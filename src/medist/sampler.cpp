@@ -1,0 +1,54 @@
+#include "medist/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace performa::medist {
+
+PhaseSampler::PhaseSampler(const MeDistribution& dist) {
+  PERFORMA_EXPECTS(dist.is_phase_type(),
+                   "PhaseSampler: distribution is not phase-type; exact "
+                   "phase simulation is undefined");
+  const Matrix& b = dist.rate_matrix();
+  const Vector& p = dist.entry_vector();
+  const std::size_t n = dist.dim();
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] <= 0.0) continue;
+    acc += p[i];
+    entry_cdf_.push_back(acc);
+    entry_target_.push_back(static_cast<int>(i));
+  }
+  // Guard the last bucket against rounding.
+  entry_cdf_.back() = 1.0;
+
+  const Vector exits = dist.exit_rates();
+  phases_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Phase& ph = phases_[i];
+    ph.rate = b(i, i);
+    double cum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double rate_ij = -b(i, j);
+      if (rate_ij <= 0.0) continue;
+      cum += rate_ij / ph.rate;
+      ph.next_cdf.push_back(cum);
+      ph.next.push_back(static_cast<int>(j));
+    }
+    // Absorption takes the remaining probability mass.
+    ph.next_cdf.push_back(1.0);
+    ph.next.push_back(-1);
+  }
+}
+
+std::size_t PhaseSampler::pick_index(const std::vector<double>& cdf,
+                                     double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf.begin(),
+                               static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+}  // namespace performa::medist

@@ -1,0 +1,55 @@
+// Exact sampling from phase-type distributions by simulating the
+// underlying absorbing Markov chain. Used by the discrete-event simulator
+// for UP/DOWN durations and non-exponential task times.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "medist/me_dist.h"
+
+namespace performa::medist {
+
+/// Sampler for a phase-type <p, B> distribution.
+///
+/// Construction precomputes, for every phase, the exponential holding rate
+/// and the discrete distribution over "next phase or absorb"; sampling is
+/// then a plain CTMC walk. Throws InvalidArgument if the distribution does
+/// not have phase-type sign structure (general ME distributions cannot be
+/// simulated this way).
+class PhaseSampler {
+ public:
+  explicit PhaseSampler(const MeDistribution& dist);
+
+  /// Draw one variate using any standard uniform random bit generator.
+  template <class Urbg>
+  double sample(Urbg& rng) const {
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    double t = 0.0;
+    int phase = entry_target_[pick_index(entry_cdf_, uni(rng))];
+    while (phase >= 0) {
+      const auto& ph = phases_[static_cast<std::size_t>(phase)];
+      t += std::exponential_distribution<double>(ph.rate)(rng);
+      phase = ph.next[pick_index(ph.next_cdf, uni(rng))];
+    }
+    return t;
+  }
+
+  std::size_t dim() const noexcept { return phases_.size(); }
+
+ private:
+  struct Phase {
+    double rate = 0.0;             // total outflow rate (holding rate)
+    std::vector<double> next_cdf;  // cumulative probabilities
+    std::vector<int> next;         // target phase, -1 = absorb
+  };
+
+  /// Index of the first cdf entry >= u (cdf is nondecreasing, ends at ~1).
+  static std::size_t pick_index(const std::vector<double>& cdf, double u);
+
+  std::vector<double> entry_cdf_;
+  std::vector<int> entry_target_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace performa::medist

@@ -1,0 +1,70 @@
+#include "medist/tpt.h"
+
+#include <cmath>
+
+namespace performa::medist {
+
+double TptSpec::gamma() const { return std::pow(theta, -1.0 / alpha); }
+
+double TptSpec::range() const {
+  return std::pow(gamma(), static_cast<double>(phases) - 1.0);
+}
+
+namespace {
+
+void validate(const TptSpec& spec) {
+  PERFORMA_EXPECTS(spec.phases >= 1, "TptSpec: phases must be >= 1");
+  PERFORMA_EXPECTS(spec.alpha > 0.0, "TptSpec: alpha must be positive");
+  PERFORMA_EXPECTS(spec.theta > 0.0 && spec.theta < 1.0,
+                   "TptSpec: theta must be in (0,1)");
+  PERFORMA_EXPECTS(spec.mean > 0.0, "TptSpec: mean must be positive");
+}
+
+}  // namespace
+
+Vector tpt_entry_probabilities(const TptSpec& spec) {
+  validate(spec);
+  const unsigned t = spec.phases;
+  Vector p(t);
+  const double norm =
+      (1.0 - spec.theta) / (1.0 - std::pow(spec.theta, static_cast<double>(t)));
+  double w = norm;
+  for (unsigned i = 0; i < t; ++i) {
+    p[i] = w;
+    w *= spec.theta;
+  }
+  return p;
+}
+
+Vector tpt_phase_rates(const TptSpec& spec) {
+  validate(spec);
+  const unsigned t = spec.phases;
+  const double g = spec.gamma();
+  const Vector p = tpt_entry_probabilities(spec);
+
+  // Unnormalized mean with mu0 = 1: sum_i p_i * gamma^i.
+  double unnorm_mean = 0.0;
+  double gi = 1.0;
+  for (unsigned i = 0; i < t; ++i) {
+    unnorm_mean += p[i] * gi;
+    gi *= g;
+  }
+  const double mu0 = unnorm_mean / spec.mean;
+
+  Vector rates(t);
+  double scale = mu0;
+  for (unsigned i = 0; i < t; ++i) {
+    rates[i] = scale;
+    scale /= g;
+  }
+  return rates;
+}
+
+MeDistribution make_tpt(const TptSpec& spec) {
+  const Vector p = tpt_entry_probabilities(spec);
+  const Vector rates = tpt_phase_rates(spec);
+  return hyperexponential_dist(p, rates,
+                               "tpt-T" + std::to_string(spec.phases));
+}
+
+}  // namespace performa::medist

@@ -1,0 +1,45 @@
+// Truncated power-tail (TPT) distributions after Greiner, Jobmann and
+// Lipsky ("The Importance of Power-tail Distributions for Telecommunication
+// Traffic Models", Operations Research 47(2), 1999).
+//
+// The TPT(T, alpha, theta) is a T-phase hyperexponential whose entry
+// probabilities decay geometrically (p_i ~ theta^i) while the phase means
+// grow geometrically (1/mu_i ~ gamma^i with gamma = theta^{-1/alpha}).
+// Its reliability function behaves like t^{-alpha} over roughly
+// gamma^T time scales before dropping off exponentially -- the paper's
+// model for multi-time-scale repair durations (process restart, reboot,
+// hardware swap, machine replacement). T = 1 degenerates to an
+// exponential.
+#pragma once
+
+#include "medist/me_dist.h"
+
+namespace performa::medist {
+
+/// Parameter set for a TPT distribution.
+struct TptSpec {
+  unsigned phases = 1;   ///< T, the truncation parameter (number of phases)
+  double alpha = 1.4;    ///< power-tail exponent (1 < alpha < 2 => infinite variance as T->inf)
+  double theta = 0.2;    ///< geometric weight decay, 0 < theta < 1
+  double mean = 1.0;     ///< target mean of the distribution
+
+  /// gamma = theta^{-1/alpha}: geometric growth factor of phase means.
+  double gamma() const;
+
+  /// Time scale of the longest phase relative to the shortest
+  /// (gamma^{T-1}); the "range" over which power-law behaviour holds.
+  double range() const;
+};
+
+/// Build the TPT distribution for a given spec.
+/// Throws InvalidArgument for out-of-range parameters.
+MeDistribution make_tpt(const TptSpec& spec);
+
+/// Entry probabilities p_i = theta^i (1-theta)/(1-theta^T), i = 0..T-1.
+Vector tpt_entry_probabilities(const TptSpec& spec);
+
+/// Phase rates mu_i = mu0 * gamma^{-i}, with mu0 chosen so the overall
+/// mean matches spec.mean.
+Vector tpt_phase_rates(const TptSpec& spec);
+
+}  // namespace performa::medist

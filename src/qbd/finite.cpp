@@ -1,0 +1,80 @@
+#include "qbd/finite.h"
+
+#include "linalg/ctmc.h"
+#include "linalg/lu.h"
+
+namespace performa::qbd {
+
+FiniteQbdSolution::FiniteQbdSolution(const QbdBlocks& blocks,
+                                     std::size_t capacity)
+    : blocks_(blocks) {
+  PERFORMA_EXPECTS(capacity >= 1, "FiniteQbdSolution: capacity must be >= 1");
+  blocks.validate();
+
+  // Backward sweep: R_k for k = K down to 1 (R_k maps pi_{k-1} to pi_k).
+  std::vector<Matrix> rs(capacity + 1);
+  rs[capacity] =
+      linalg::Lu(-1.0 * (blocks.a1 + blocks.a0)).solve_left(blocks.a0);
+  for (std::size_t k = capacity; k-- > 1;) {
+    rs[k] = linalg::Lu(-1.0 * (blocks.a1 + rs[k + 1] * blocks.a2))
+                .solve_left(blocks.a0);
+  }
+
+  // Censored generator on level 0: B00 + R_1 B10.
+  const Matrix censored = blocks.b00 + rs[1] * blocks.b10;
+  Vector pi0 = linalg::stationary_distribution(censored);
+
+  pis_.resize(capacity + 1);
+  pis_[0] = pi0;
+  double total = linalg::sum(pi0);
+  for (std::size_t k = 1; k <= capacity; ++k) {
+    pis_[k] = pis_[k - 1] * rs[k];
+    total += linalg::sum(pis_[k]);
+  }
+  for (auto& pi : pis_) {
+    for (double& x : pi) x /= total;
+  }
+}
+
+double FiniteQbdSolution::pmf(std::size_t k) const {
+  if (k >= pis_.size()) return 0.0;
+  return linalg::sum(pis_[k]);
+}
+
+double FiniteQbdSolution::tail(std::size_t k) const {
+  double acc = 0.0;
+  for (std::size_t j = k; j < pis_.size(); ++j) acc += linalg::sum(pis_[j]);
+  return acc;
+}
+
+double FiniteQbdSolution::mean_queue_length() const {
+  double acc = 0.0;
+  for (std::size_t k = 1; k < pis_.size(); ++k) {
+    acc += static_cast<double>(k) * linalg::sum(pis_[k]);
+  }
+  return acc;
+}
+
+double FiniteQbdSolution::probability_empty() const {
+  return linalg::sum(pis_.front());
+}
+
+double FiniteQbdSolution::probability_full() const {
+  return linalg::sum(pis_.back());
+}
+
+double FiniteQbdSolution::blocking_probability() const {
+  const Vector arrival_rates =
+      blocks_.a0 * linalg::ones(blocks_.phase_dim());
+  double blocked = linalg::dot(pis_.back(), arrival_rates);
+  double total = 0.0;
+  for (const auto& pi : pis_) total += linalg::dot(pi, arrival_rates);
+  return blocked / total;
+}
+
+const linalg::Vector& FiniteQbdSolution::level(std::size_t k) const {
+  PERFORMA_EXPECTS(k < pis_.size(), "FiniteQbdSolution::level: out of range");
+  return pis_[k];
+}
+
+}  // namespace performa::qbd

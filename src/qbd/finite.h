@@ -1,0 +1,51 @@
+// Finite-buffer queue (paper Sec. 2.4, second bullet): the dispatcher can
+// hold at most K tasks (including those in service); arrivals finding the
+// system full are lost. The resulting finite QBD is solved exactly by
+// backward block elimination:
+//
+//   pi_K = pi_{K-1} R_K,   R_K = A0 (-(A1 + A0))^{-1},
+//   pi_k = pi_{k-1} R_k,   R_k = A0 (-(A1 + R_{k+1} A2))^{-1},  k < K,
+//   pi_0 (B00 + R_1 A2) = 0, normalized over all levels.
+//
+// Cost is O(K m^3); K in the tens of thousands is practical.
+#pragma once
+
+#include <vector>
+
+#include "qbd/qbd.h"
+
+namespace performa::qbd {
+
+/// Stationary solution of a QBD truncated at level K (blocked arrivals
+/// are lost; the local block at level K is A1 + A0).
+class FiniteQbdSolution {
+ public:
+  /// `capacity` = K >= 1, the maximal number of tasks in the system.
+  FiniteQbdSolution(const QbdBlocks& blocks, std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return pis_.size() - 1; }
+
+  double pmf(std::size_t k) const;
+  double tail(std::size_t k) const;
+  double mean_queue_length() const;
+  double probability_empty() const;
+
+  /// Probability that the system is full (time-stationary). For Poisson
+  /// arrivals this is also the blocking probability by PASTA.
+  double probability_full() const;
+
+  /// Blocking probability seen by arrivals: the event-stationary
+  /// probability of finding the system full, i.e. the arrival rate out of
+  /// full states divided by the total arrival rate. Equals
+  /// probability_full() for Poisson arrivals.
+  double blocking_probability() const;
+
+  /// Per-phase stationary vector at level k (diagnostics).
+  const linalg::Vector& level(std::size_t k) const;
+
+ private:
+  std::vector<linalg::Vector> pis_;
+  QbdBlocks blocks_;
+};
+
+}  // namespace performa::qbd

@@ -1,0 +1,149 @@
+#include "qbd/level_dependent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace performa::qbd {
+
+LevelDependentSolution::LevelDependentSolution(
+    const LevelDependentBlocks& blocks, const SolverOptions& opts) {
+  PERFORMA_EXPECTS(!blocks.service.empty(),
+                   "LevelDependentSolution: need at least one service level");
+  PERFORMA_EXPECTS(blocks.lambda > 0.0,
+                   "LevelDependentSolution: lambda must be positive");
+  const std::size_t m = blocks.phase_dim();
+  const std::size_t c_levels = blocks.service.size();  // C
+  for (const Matrix& svc : blocks.service) {
+    PERFORMA_EXPECTS(svc.rows() == m && svc.cols() == m,
+                     "LevelDependentSolution: service block shape mismatch");
+  }
+
+  // R from the homogeneous part (levels >= C).
+  QbdBlocks homogeneous;
+  const Matrix lam = blocks.lambda * Matrix::identity(m);
+  const Matrix& m_top = blocks.service.back();
+  homogeneous.b00 = blocks.q - lam;  // unused by solve_r but validated
+  homogeneous.b01 = lam;
+  homogeneous.b10 = m_top;
+  homogeneous.a0 = lam;
+  homogeneous.a1 = blocks.q - lam - m_top;
+  homogeneous.a2 = m_top;
+  r_ = solve_r(homogeneous, opts).r;
+  i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
+
+  // Assemble the boundary system over y = [pi_0 .. pi_C] (row vector).
+  const std::size_t n_unknowns = (c_levels + 1) * m;
+  Matrix sys(n_unknowns, n_unknowns, 0.0);
+  Vector rhs(n_unknowns, 0.0);
+
+  // add_block(k, j, B): equation block j gains contribution pi_k * B.
+  auto add_block = [&](std::size_t k, std::size_t j, const Matrix& b) {
+    for (std::size_t col = 0; col < m; ++col)
+      for (std::size_t i = 0; i < m; ++i) sys(j * m + col, k * m + i) += b(i, col);
+  };
+
+  const Matrix local0 = blocks.q - lam;
+  add_block(0, 0, local0);
+  add_block(1, 0, blocks.service[0]);
+  for (std::size_t j = 1; j + 1 <= c_levels; ++j) {
+    add_block(j - 1, j, lam);
+    add_block(j, j, blocks.q - lam - blocks.service[j - 1]);
+    add_block(j + 1, j, blocks.service[j]);
+  }
+  // Level C equation: pi_{C-1} lambda + pi_C (Q - lam - M_C + R M_C) = 0.
+  add_block(c_levels - 1, c_levels, lam);
+  add_block(c_levels, c_levels, blocks.q - lam - m_top + r_ * m_top);
+
+  // Replace equation component (0,0) with the normalization row.
+  const Vector norm_tail = i_minus_r_inv_ * linalg::ones(m);
+  for (std::size_t i = 0; i < n_unknowns; ++i) sys(0, i) = 0.0;
+  for (std::size_t k = 0; k < c_levels; ++k)
+    for (std::size_t i = 0; i < m; ++i) sys(0, k * m + i) = 1.0;
+  for (std::size_t i = 0; i < m; ++i) sys(0, c_levels * m + i) = norm_tail[i];
+  rhs[0] = 1.0;
+
+  const Vector y = linalg::Lu(sys).solve(rhs);
+  pis_.resize(c_levels + 1);
+  for (std::size_t k = 0; k <= c_levels; ++k) {
+    pis_[k].assign(y.begin() + static_cast<std::ptrdiff_t>(k * m),
+                   y.begin() + static_cast<std::ptrdiff_t>((k + 1) * m));
+    for (double& x : pis_[k]) {
+      if (x < 0.0 && x > -1e-10) x = 0.0;
+      if (x < 0.0) {
+        throw NumericalError(
+            "LevelDependentSolution: negative boundary probability");
+      }
+    }
+  }
+}
+
+double LevelDependentSolution::probability_empty() const {
+  return linalg::sum(pis_[0]);
+}
+
+double LevelDependentSolution::pmf(std::size_t k) const {
+  const std::size_t c_levels = boundary_levels();
+  if (k <= c_levels) return linalg::sum(pis_[k]);
+  Vector v = pis_[c_levels];
+  for (std::size_t i = c_levels; i < k; ++i) v = v * r_;
+  return linalg::sum(v);
+}
+
+double LevelDependentSolution::tail(std::size_t k) const {
+  const std::size_t c_levels = boundary_levels();
+  const Vector e = linalg::ones(pis_[0].size());
+  if (k > c_levels) {
+    Vector v = pis_[c_levels];
+    for (std::size_t i = c_levels; i < k; ++i) v = v * r_;
+    return linalg::dot(v, i_minus_r_inv_ * e);
+  }
+  double acc = 0.0;
+  for (std::size_t j = k; j <= c_levels; ++j) acc += linalg::sum(pis_[j]);
+  // Mass strictly above level C.
+  acc += linalg::dot(pis_[c_levels] * r_, i_minus_r_inv_ * e);
+  return acc;
+}
+
+double LevelDependentSolution::mean_queue_length() const {
+  const std::size_t c_levels = boundary_levels();
+  const Vector e = linalg::ones(pis_[0].size());
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= c_levels; ++k)
+    acc += static_cast<double>(k) * linalg::sum(pis_[k]);
+  // sum_{j>=1} (C+j) pi_C R^j e
+  const Vector pc_r = pis_[c_levels] * r_;
+  acc += static_cast<double>(c_levels) *
+         linalg::dot(pc_r, i_minus_r_inv_ * e);
+  acc += linalg::dot(pc_r, i_minus_r_inv_ * (i_minus_r_inv_ * e));
+  return acc;
+}
+
+LevelDependentBlocks cluster_level_dependent_blocks(
+    const map::LumpedAggregate& cluster, double nu_p, double delta,
+    double lambda) {
+  PERFORMA_EXPECTS(nu_p > 0.0, "cluster_level_dependent_blocks: nu_p > 0");
+  PERFORMA_EXPECTS(delta >= 0.0 && delta <= 1.0,
+                   "cluster_level_dependent_blocks: delta in [0,1]");
+  const unsigned n = cluster.n_servers();
+  const std::size_t m = cluster.state_count();
+
+  LevelDependentBlocks blocks;
+  blocks.q = cluster.mmpp().generator();
+  blocks.lambda = lambda;
+  blocks.service.reserve(n);
+  for (unsigned k = 1; k <= n; ++k) {
+    Vector rates(m, 0.0);
+    for (std::size_t s = 0; s < m; ++s) {
+      const unsigned up = cluster.up_count(s);
+      const unsigned busy_up = std::min(k, up);
+      const unsigned busy_down = std::min(k - busy_up, n - up);
+      rates[s] = nu_p * busy_up + delta * nu_p * busy_down;
+    }
+    blocks.service.push_back(Matrix::diag(rates));
+  }
+  return blocks;
+}
+
+}  // namespace performa::qbd

@@ -1,0 +1,63 @@
+// Level-dependent boundary extension of the cluster queue (Sec. 2.4 of the
+// paper, following the approach of Krieger/Naumov and Schwefel's TCP
+// model): with fewer tasks than servers, not all servers can be busy, so
+// the service-completion rates in the first N level rows differ.
+//
+// Levels 0..C-1 carry level-specific service matrices M_k (rate of the
+// k -> k-1 transition); from level C on the process is homogeneous and the
+// usual matrix-geometric tail pi_{C+j} = pi_C R^j applies.
+#pragma once
+
+#include <vector>
+
+#include "map/lumped_aggregate.h"
+#include "qbd/solution.h"
+
+namespace performa::qbd {
+
+/// Description of a QBD whose first C levels are inhomogeneous.
+struct LevelDependentBlocks {
+  Matrix q;                       ///< phase-process generator
+  double lambda = 0.0;            ///< Poisson arrival rate
+  std::vector<Matrix> service;    ///< service[k] = M_{k+1}, k = 0..C-1;
+                                  ///< service.back() repeats for levels > C
+  std::size_t phase_dim() const noexcept { return q.rows(); }
+  std::size_t boundary_levels() const noexcept { return service.size(); }
+};
+
+/// Stationary solution of the level-dependent QBD.
+class LevelDependentSolution {
+ public:
+  explicit LevelDependentSolution(const LevelDependentBlocks& blocks,
+                                  const SolverOptions& opts = {});
+
+  /// Pr(Q = k).
+  double pmf(std::size_t k) const;
+  /// Pr(Q >= k).
+  double tail(std::size_t k) const;
+  double mean_queue_length() const;
+  double probability_empty() const;
+
+  /// Boundary level count C (levels with their own pi_k vector).
+  std::size_t boundary_levels() const noexcept { return pis_.size() - 1; }
+
+ private:
+  std::vector<Vector> pis_;  // pi_0 .. pi_C
+  Matrix r_;
+  Matrix i_minus_r_inv_;
+};
+
+/// Build the load-dependent cluster queue on the lumped state space:
+/// with k tasks in the system and occupancy state s (u UP servers), the
+/// service rate is
+///
+///   nu_k(s) = nu_p * min(k, u) + delta * nu_p * min(max(k-u, 0), N-u),
+///
+/// i.e. the dispatcher keeps as many tasks as possible on fully
+/// operational servers and overflow tasks run degraded. For k >= N this
+/// equals the load-independent Eq. (2) of the paper.
+LevelDependentBlocks cluster_level_dependent_blocks(
+    const map::LumpedAggregate& cluster, double nu_p, double delta,
+    double lambda);
+
+}  // namespace performa::qbd

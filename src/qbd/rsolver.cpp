@@ -1,0 +1,126 @@
+#include "qbd/rsolver.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/lu.h"
+
+namespace performa::qbd {
+
+namespace {
+
+double residual_norm(const QbdBlocks& b, const Matrix& r) {
+  return linalg::norm_inf(b.a0 + r * b.a1 + r * r * b.a2);
+}
+
+RSolveResult solve_r_successive(const QbdBlocks& b, const SolverOptions& opts) {
+  const std::size_t m = b.phase_dim();
+  const linalg::Lu neg_a1(-1.0 * b.a1);
+
+  Matrix r = Matrix::zeros(m, m);
+  for (unsigned it = 1; it <= opts.max_iterations; ++it) {
+    // R_{k+1} (-A1) = A0 + R_k^2 A2
+    const Matrix next = neg_a1.solve_left(b.a0 + r * r * b.a2);
+    const double diff = linalg::max_abs_diff(next, r);
+    r = next;
+    if (diff < opts.tolerance) {
+      return RSolveResult{r, it, residual_norm(b, r)};
+    }
+  }
+  throw NumericalError(
+      "solve_r: successive substitution did not converge (queue unstable or "
+      "max_iterations too small)");
+}
+
+}  // namespace
+
+Matrix solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
+  const std::size_t m = b.phase_dim();
+  const Matrix eye = Matrix::identity(m);
+  const linalg::Lu neg_a1(-1.0 * b.a1);
+
+  // H = (-A1)^{-1} A0, L = (-A1)^{-1} A2.
+  Matrix h = neg_a1.solve(b.a0);
+  Matrix l = neg_a1.solve(b.a2);
+  Matrix g = l;
+  Matrix t = h;
+
+  const Vector e = linalg::ones(m);
+  // Quadratic convergence: ~log2 of the effective time horizon; 64
+  // doublings cover any double-precision-representable scale, but allow
+  // the caller's cap to bind first. The defect |1 - G e| bottoms out at a
+  // model-dependent roundoff floor that can sit above a very tight
+  // tolerance, so stagnation at a small defect is also accepted.
+  const unsigned cap = std::min<unsigned>(opts.max_iterations, 64);
+  double best_defect = std::numeric_limits<double>::infinity();
+  unsigned stagnant = 0;
+  for (unsigned it = 1; it <= cap; ++it) {
+    const Matrix u = h * l + l * h;
+    const linalg::Lu eye_minus_u(eye - u);
+    h = eye_minus_u.solve(h * h);
+    l = eye_minus_u.solve(l * l);
+    g += t * l;
+    t = t * h;
+
+    double defect = 0.0;
+    const Vector ge = g * e;
+    for (std::size_t i = 0; i < m; ++i)
+      defect = std::max(defect, std::abs(1.0 - ge[i]));
+    if (defect < opts.tolerance) return g;
+    // The next update to G is bounded by ||T|| ||L||; once T has decayed
+    // to roundoff the iteration cannot improve further -- the remaining
+    // defect is accumulated floating-point error (grows toward the
+    // stability boundary), not missing probability mass.
+    if (linalg::norm_inf(t) < 1e-14 && defect < 1e-5) return g;
+    if (defect < 0.5 * best_defect) {
+      best_defect = defect;
+      stagnant = 0;
+    } else if (++stagnant >= 3 && best_defect < 1e-7) {
+      return g;  // converged to the roundoff floor
+    }
+  }
+  throw NumericalError(
+      "solve_g_logred: logarithmic reduction did not converge; the QBD is "
+      "likely not positive recurrent (utilization >= 1)");
+}
+
+RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
+  blocks.validate();
+  if (utilization(blocks) >= 1.0) {
+    throw NumericalError(
+        "solve_r: mean drift is non-negative (utilization >= 1), the queue "
+        "has no stationary distribution");
+  }
+  if (opts.algorithm == RAlgorithm::kSuccessiveSubstitution) {
+    return solve_r_successive(blocks, opts);
+  }
+  const Matrix g = solve_g_logred(blocks, opts);
+  // R = A0 * (-(A1 + A0 G))^{-1}
+  // Stability was established via the drift condition above; sp(R) < 1 is
+  // then guaranteed analytically (power-iteration estimates of it can
+  // overshoot 1 by rounding when the decay rate is extremely close to 1,
+  // e.g. TPT repair at rho ~ 0.95, so it must not be used as a gate here).
+  const Matrix r =
+      linalg::Lu(-1.0 * (blocks.a1 + blocks.a0 * g)).solve_left(blocks.a0);
+  return RSolveResult{r, 0, residual_norm(blocks, r)};
+}
+
+double spectral_radius(const Matrix& m, double tol, unsigned max_iter) {
+  PERFORMA_EXPECTS(m.is_square() && !m.empty(),
+                   "spectral_radius: matrix must be square");
+  Vector v = linalg::ones(m.rows());
+  double lambda = 0.0;
+  for (unsigned it = 0; it < max_iter; ++it) {
+    Vector w = m * v;
+    const double nrm = linalg::norm_inf(w);
+    if (nrm == 0.0) return 0.0;  // nilpotent or zero matrix
+    for (double& x : w) x /= nrm;
+    const double diff = std::abs(nrm - lambda);
+    lambda = nrm;
+    v = std::move(w);
+    if (diff < tol * std::max(1.0, lambda) && it > 3) return lambda;
+  }
+  return lambda;  // best estimate; callers treat this as approximate
+}
+
+}  // namespace performa::qbd

@@ -1,0 +1,50 @@
+// Solvers for the matrix-quadratic equations of QBD theory:
+//
+//   R:  A0 + R A1 + R^2 A2 = 0   (rate matrix, Neuts)
+//   G:  A2 + A1 G + A0 G^2 = 0   (first-passage matrix)
+//
+// Two algorithms are provided: classic successive substitution (linear
+// convergence, trivially correct -- kept for cross-validation and as the
+// ablation baseline) and Latouche-Ramaswami logarithmic reduction
+// (quadratic convergence, the production default).
+#pragma once
+
+#include "qbd/qbd.h"
+
+namespace performa::qbd {
+
+/// Algorithm selector for R computation.
+enum class RAlgorithm {
+  kLogarithmicReduction,    ///< default: quadratically convergent
+  kSuccessiveSubstitution,  ///< baseline: linearly convergent
+};
+
+/// Options shared by the iterative solvers.
+struct SolverOptions {
+  double tolerance = 1e-13;      ///< infinity-norm stopping threshold
+  unsigned max_iterations = 100000;  ///< hard cap; NumericalError beyond
+  RAlgorithm algorithm = RAlgorithm::kLogarithmicReduction;
+};
+
+/// Result of an R computation with convergence diagnostics.
+struct RSolveResult {
+  Matrix r;                ///< the minimal non-negative solution R
+  unsigned iterations = 0; ///< iterations used
+  double residual = 0.0;   ///< ||A0 + R A1 + R^2 A2||_inf at return
+};
+
+/// Compute R by the selected algorithm. The QBD must be irreducible and
+/// stable; otherwise NumericalError is thrown (no convergence / sp(R)>=1).
+RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts = {});
+
+/// Compute G with logarithmic reduction (used internally by solve_r and
+/// exposed for tests: G is stochastic iff the chain is recurrent).
+Matrix solve_g_logred(const QbdBlocks& blocks, const SolverOptions& opts = {});
+
+/// Spectral radius estimate of a non-negative matrix via power iteration;
+/// for R this is the caudal characteristic (geometric decay rate) of the
+/// queue-length distribution.
+double spectral_radius(const Matrix& m, double tol = 1e-12,
+                       unsigned max_iter = 20000);
+
+}  // namespace performa::qbd

@@ -1,0 +1,165 @@
+#include "qbd/solution.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace performa::qbd {
+
+namespace {
+
+// x^T columns stacked: solve for [pi0 pi1] from
+//   pi0 B00 + pi1 B10 = 0
+//   pi0 B01 + pi1 (A1 + R A2) = 0
+// with one equation replaced by the normalization
+//   pi0 e + pi1 (I-R)^{-1} e = 1.
+void solve_boundary(const QbdBlocks& b, const Matrix& r,
+                    const Matrix& i_minus_r_inv, Vector& pi0, Vector& pi1) {
+  const std::size_t m = b.phase_dim();
+  const Matrix lower_right = b.a1 + r * b.a2;
+  const Vector norm_tail = i_minus_r_inv * linalg::ones(m);
+
+  // Row-vector system x M = 0 becomes M^T y = 0 with y = x^T; replace the
+  // first equation with the normalization row.
+  Matrix sys(2 * m, 2 * m, 0.0);
+  Vector rhs(2 * m, 0.0);
+
+  // Equation index 0: normalization.
+  for (std::size_t j = 0; j < m; ++j) {
+    sys(0, j) = 1.0;                // pi0 . e
+    sys(0, m + j) = norm_tail[j];   // pi1 . (I-R)^{-1} e
+  }
+  rhs[0] = 1.0;
+
+  // Equations 1..m-1 from the first block column (balance at level 0),
+  // skipping component 0 which the normalization replaced.
+  for (std::size_t c = 1; c < m; ++c) {
+    for (std::size_t j = 0; j < m; ++j) {
+      sys(c, j) = b.b00(j, c);
+      sys(c, m + j) = b.b10(j, c);
+    }
+  }
+  // Equations m..2m-1 from the second block column (balance at level 1).
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t j = 0; j < m; ++j) {
+      sys(m + c, j) = b.b01(j, c);
+      sys(m + c, m + j) = lower_right(j, c);
+    }
+  }
+
+  const Vector y = linalg::Lu(sys).solve(rhs);
+  pi0.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(m));
+  pi1.assign(y.begin() + static_cast<std::ptrdiff_t>(m), y.end());
+}
+
+}  // namespace
+
+QbdSolution::QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts) {
+  const RSolveResult rs = solve_r(blocks, opts);
+  r_ = rs.r;
+  r_iterations_ = rs.iterations;
+  r_residual_ = rs.residual;
+
+  const std::size_t m = blocks.phase_dim();
+  i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
+  solve_boundary(blocks, r_, i_minus_r_inv_, pi0_, pi1_);
+
+  // The boundary solve can produce tiny negative round-off; clip and
+  // renormalize so downstream probabilities stay in range.
+  for (Vector* vec : {&pi0_, &pi1_}) {
+    for (double& x : *vec) {
+      if (x < 0.0 && x > -1e-12) x = 0.0;
+      if (x < 0.0) {
+        throw NumericalError(
+            "QbdSolution: boundary solve produced a negative probability");
+      }
+    }
+  }
+  const double total = linalg::sum(pi0_) +
+          linalg::dot(pi1_, i_minus_r_inv_ * linalg::ones(m));
+  if (std::abs(total - 1.0) > 1e-8) {
+    throw NumericalError("QbdSolution: boundary normalization failed");
+  }
+}
+
+double QbdSolution::probability_empty() const { return linalg::sum(pi0_); }
+
+double QbdSolution::pmf(std::size_t k) const {
+  if (k == 0) return probability_empty();
+  Vector v = pi1_;
+  for (std::size_t i = 1; i < k; ++i) v = v * r_;
+  return linalg::sum(v);
+}
+
+Vector QbdSolution::pmf_upto(std::size_t k_max) const {
+  Vector out(k_max + 1);
+  out[0] = probability_empty();
+  Vector v = pi1_;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    out[k] = linalg::sum(v);
+    v = v * r_;
+  }
+  return out;
+}
+
+double QbdSolution::tail(std::size_t k) const {
+  if (k == 0) return 1.0;
+  // pi_1 R^{k-1} (I-R)^{-1} e via iterated vector-matrix products for
+  // small k and binary powering for large k.
+  const std::size_t steps = k - 1;
+  Vector v = pi1_;
+  if (steps <= 64) {
+    for (std::size_t i = 0; i < steps; ++i) v = v * r_;
+  } else {
+    // Binary powering of R.
+    Matrix pow = Matrix::identity(r_.rows());
+    Matrix base = r_;
+    std::size_t n = steps;
+    while (n > 0) {
+      if (n & 1u) pow = pow * base;
+      n >>= 1u;
+      if (n > 0) base = base * base;
+    }
+    v = v * pow;
+  }
+  return linalg::dot(v, i_minus_r_inv_ * linalg::ones(phase_dim()));
+}
+
+double QbdSolution::mean_queue_length() const {
+  // sum_{k>=1} k pi_1 R^{k-1} e = pi_1 (I-R)^{-2} e
+  const Vector e = linalg::ones(phase_dim());
+  return linalg::dot(pi1_, i_minus_r_inv_ * (i_minus_r_inv_ * e));
+}
+
+double QbdSolution::second_moment() const {
+  // sum_{k>=1} k^2 R^{k-1} = (I+R)(I-R)^{-3}
+  const std::size_t m = phase_dim();
+  const Vector e = linalg::ones(m);
+  const Matrix inv3 = i_minus_r_inv_ * i_minus_r_inv_ * i_minus_r_inv_;
+  return linalg::dot(pi1_, (Matrix::identity(m) + r_) * (inv3 * e));
+}
+
+double QbdSolution::variance() const {
+  const double mean = mean_queue_length();
+  return second_moment() - mean * mean;
+}
+
+double QbdSolution::decay_rate() const { return spectral_radius(r_); }
+
+Vector QbdSolution::phase_marginal_busy() const {
+  return pi1_ * i_minus_r_inv_;
+}
+
+Vector QbdSolution::phase_marginal() const {
+  Vector out = pi0_;
+  const Vector tail_mass = pi1_ * i_minus_r_inv_;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += tail_mass[i];
+  return out;
+}
+
+double mean_queue_length(const map::Mmpp& service, double lambda,
+                         const SolverOptions& opts) {
+  return QbdSolution(m_mmpp_1(service, lambda), opts).mean_queue_length();
+}
+
+}  // namespace performa::qbd

@@ -1,0 +1,74 @@
+// Stationary solution of a level-independent QBD and the queue-length
+// metrics the paper reports: mean queue length, pmf, tail probabilities,
+// and the geometric decay rate.
+#pragma once
+
+#include "qbd/rsolver.h"
+
+namespace performa::qbd {
+
+/// Matrix-geometric stationary solution:
+///   pi_0 (boundary), pi_k = pi_1 R^{k-1} for k >= 1.
+class QbdSolution {
+ public:
+  /// Solves R and the boundary system. Throws NumericalError if the queue
+  /// is unstable or the solvers fail to converge.
+  explicit QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts = {});
+
+  const Matrix& r() const noexcept { return r_; }
+  const Vector& pi0() const noexcept { return pi0_; }
+  const Vector& pi1() const noexcept { return pi1_; }
+  std::size_t phase_dim() const noexcept { return pi0_.size(); }
+
+  /// Pr(Q = 0) -- the probability of an empty system.
+  double probability_empty() const;
+
+  /// Pr(Q = k), where Q counts all tasks in the system.
+  double pmf(std::size_t k) const;
+
+  /// Pr(Q = 0..k_max) as a vector (computed by one sweep).
+  Vector pmf_upto(std::size_t k_max) const;
+
+  /// Tail probability Pr(Q >= k).
+  double tail(std::size_t k) const;
+
+  /// E[Q] = pi_1 (I-R)^{-2} e.
+  double mean_queue_length() const;
+
+  /// E[Q^2]; with mean_queue_length gives Var[Q].
+  double second_moment() const;
+  double variance() const;
+
+  /// Geometric decay rate of the queue-length distribution: sp(R)
+  /// (the caudal characteristic eta, Pr(Q = k) ~ c eta^k for large k
+  /// away from blow-up regions).
+  double decay_rate() const;
+
+  /// Marginal distribution over service phases (sums the level
+  /// expansion); equals the stationary phase vector of the modulating
+  /// process -- used as an internal consistency check.
+  Vector phase_marginal() const;
+
+  /// Phase mass restricted to busy levels: pi_1 (I-R)^{-1}. Sums to
+  /// 1 - probability_empty(); used e.g. by discard_fraction().
+  Vector phase_marginal_busy() const;
+
+  /// Convergence diagnostics from the R solve.
+  unsigned r_iterations() const noexcept { return r_iterations_; }
+  double r_residual() const noexcept { return r_residual_; }
+
+ private:
+  Matrix r_;
+  Matrix i_minus_r_inv_;  // (I - R)^{-1}, reused by every metric
+  Vector pi0_;
+  Vector pi1_;
+  unsigned r_iterations_ = 0;
+  double r_residual_ = 0.0;
+};
+
+/// One-line helper for the common case: mean queue length of an
+/// M/MMPP/1 cluster queue.
+double mean_queue_length(const map::Mmpp& service, double lambda,
+                         const SolverOptions& opts = {});
+
+}  // namespace performa::qbd

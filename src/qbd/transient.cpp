@@ -1,0 +1,143 @@
+#include "qbd/transient.h"
+
+#include <cmath>
+
+namespace performa::qbd {
+
+TransientSolver::TransientSolver(const QbdBlocks& blocks,
+                                 std::size_t capacity)
+    : blocks_(blocks), capacity_(capacity) {
+  PERFORMA_EXPECTS(capacity >= 1, "TransientSolver: capacity must be >= 1");
+  blocks.validate();
+  local_top_ = blocks_.a1 + blocks_.a0;
+
+  // Uniformization rate: the largest total outflow over all levels. The
+  // diagonal of each local block is (minus) that outflow.
+  double rate = 0.0;
+  const std::size_t m = blocks_.phase_dim();
+  for (std::size_t i = 0; i < m; ++i) {
+    rate = std::max(rate, -blocks_.b00(i, i));
+    rate = std::max(rate, -blocks_.a1(i, i));
+    rate = std::max(rate, -local_top_(i, i));
+  }
+  PERFORMA_EXPECTS(rate > 0.0, "TransientSolver: degenerate generator");
+  uniformization_rate_ = 1.02 * rate;  // small head-room
+}
+
+LevelState TransientSolver::point_mass(std::size_t level,
+                                       const Vector& phases) const {
+  PERFORMA_EXPECTS(level <= capacity_, "point_mass: level beyond capacity");
+  PERFORMA_EXPECTS(phases.size() == phase_dim(),
+                   "point_mass: phase vector length mismatch");
+  PERFORMA_EXPECTS(std::abs(linalg::sum(phases) - 1.0) < 1e-9,
+                   "point_mass: phase vector must sum to 1");
+  LevelState state(capacity_ + 1, Vector(phase_dim(), 0.0));
+  state[level] = phases;
+  return state;
+}
+
+LevelState TransientSolver::apply(const LevelState& v) const {
+  const std::size_t m = phase_dim();
+  const double inv = 1.0 / uniformization_rate_;
+  LevelState w(capacity_ + 1, Vector(m, 0.0));
+
+  // Level 0: from itself (B00), from level 1 down (B10).
+  {
+    Vector acc = v[0] * blocks_.b00;
+    linalg::axpy(1.0, v[1] * blocks_.b10, acc);
+    for (std::size_t i = 0; i < m; ++i) w[0][i] = v[0][i] + inv * acc[i];
+  }
+  // Interior levels.
+  for (std::size_t k = 1; k <= capacity_; ++k) {
+    Vector acc(m, 0.0);
+    // Up-transition into level k.
+    if (k == 1) {
+      acc = v[0] * blocks_.b01;
+    } else {
+      acc = v[k - 1] * blocks_.a0;
+    }
+    // Local block.
+    const Matrix& local = (k == capacity_) ? local_top_ : blocks_.a1;
+    linalg::axpy(1.0, v[k] * local, acc);
+    // Down-transition from level k+1.
+    if (k + 1 <= capacity_) {
+      linalg::axpy(1.0, v[k + 1] * blocks_.a2, acc);
+    }
+    for (std::size_t i = 0; i < m; ++i) w[k][i] = v[k][i] + inv * acc[i];
+  }
+  return w;
+}
+
+LevelState TransientSolver::evolve(const LevelState& initial, double t,
+                                   double tol) const {
+  PERFORMA_EXPECTS(t >= 0.0, "evolve: t must be >= 0");
+  PERFORMA_EXPECTS(initial.size() == capacity_ + 1,
+                   "evolve: state has wrong number of levels");
+  PERFORMA_EXPECTS(tol > 0.0 && tol < 1.0, "evolve: tol in (0,1)");
+  if (t == 0.0) return initial;
+
+  // Split the horizon so each segment has Lambda*dt <= 64: keeps the
+  // Poisson weights representable and the per-segment series short.
+  const double total = uniformization_rate_ * t;
+  const auto segments =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(total / 64.0)));
+  const double seg_mean = total / static_cast<double>(segments);
+  const double seg_tol = tol / static_cast<double>(segments);
+
+  LevelState state = initial;
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    LevelState power = state;  // v P^n
+    LevelState acc(capacity_ + 1, Vector(phase_dim(), 0.0));
+    double weight = std::exp(-seg_mean);  // Pois(n=0)
+    double cumulative = weight;
+    for (std::size_t k = 0; k <= capacity_; ++k) {
+      for (std::size_t i = 0; i < phase_dim(); ++i) {
+        acc[k][i] = weight * power[k][i];
+      }
+    }
+    std::size_t n = 0;
+    while (cumulative < 1.0 - seg_tol) {
+      ++n;
+      power = apply(power);
+      weight *= seg_mean / static_cast<double>(n);
+      cumulative += weight;
+      for (std::size_t k = 0; k <= capacity_; ++k) {
+        linalg::axpy(weight, power[k], acc[k]);
+      }
+      if (n > 100000) {
+        throw NumericalError("TransientSolver::evolve: series too long");
+      }
+    }
+    // Renormalize the truncated series (mass deficit <= seg_tol).
+    const double mass = total_mass(acc);
+    for (auto& level : acc) {
+      for (double& x : level) x /= mass;
+    }
+    state = std::move(acc);
+  }
+  return state;
+}
+
+Vector TransientSolver::level_pmf(const LevelState& state) const {
+  Vector pmf(state.size());
+  for (std::size_t k = 0; k < state.size(); ++k) {
+    pmf[k] = linalg::sum(state[k]);
+  }
+  return pmf;
+}
+
+double TransientSolver::mean_level(const LevelState& state) const {
+  double acc = 0.0;
+  for (std::size_t k = 1; k < state.size(); ++k) {
+    acc += static_cast<double>(k) * linalg::sum(state[k]);
+  }
+  return acc;
+}
+
+double TransientSolver::total_mass(const LevelState& state) const {
+  double acc = 0.0;
+  for (const auto& level : state) acc += linalg::sum(level);
+  return acc;
+}
+
+}  // namespace performa::qbd

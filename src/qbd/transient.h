@@ -1,0 +1,61 @@
+// Transient analysis of the (capacity-truncated) cluster queue by
+// uniformization: how does the queue-length distribution evolve from an
+// arbitrary initial condition -- e.g. the backlog left behind by an
+// outage? Performability questions of the "how long until we recover"
+// kind are answered here; the stationary solvers only give the limit.
+//
+// The method is standard randomization: with Lambda >= max_i |q_ii| and
+// P = I + Q/Lambda,  v(t) = sum_n Pois(Lambda t; n) v(0) P^n. The
+// implementation never materializes the full generator; it applies the
+// block-tridiagonal operator level by level, and splits long horizons
+// into segments to keep the Poisson weights well-conditioned.
+#pragma once
+
+#include <vector>
+
+#include "qbd/qbd.h"
+
+namespace performa::qbd {
+
+/// Distribution over the truncated state space: one phase vector per
+/// level 0..K.
+using LevelState = std::vector<linalg::Vector>;
+
+class TransientSolver {
+ public:
+  /// Queue truncated at `capacity` levels (arrivals into a full system
+  /// are lost, matching FiniteQbdSolution).
+  TransientSolver(const QbdBlocks& blocks, std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t phase_dim() const noexcept { return blocks_.phase_dim(); }
+
+  /// Point mass at `level` with the given phase distribution (must sum
+  /// to 1; length = phase_dim()).
+  LevelState point_mass(std::size_t level, const Vector& phases) const;
+
+  /// Evolve a distribution forward by time t. `tol` bounds the truncation
+  /// error of the Poisson series (total-variation).
+  LevelState evolve(const LevelState& initial, double t,
+                    double tol = 1e-10) const;
+
+  /// Marginal level distribution (queue-length pmf) of a state.
+  Vector level_pmf(const LevelState& state) const;
+
+  /// Mean queue length of a state.
+  double mean_level(const LevelState& state) const;
+
+  /// Total probability mass (must stay ~1; exposed for testing).
+  double total_mass(const LevelState& state) const;
+
+ private:
+  /// w = v * P with P = I + Q/Lambda over the truncated block structure.
+  LevelState apply(const LevelState& v) const;
+
+  QbdBlocks blocks_;
+  std::size_t capacity_;
+  double uniformization_rate_;
+  Matrix local_top_;  // A1 + A0 (level K local block)
+};
+
+}  // namespace performa::qbd

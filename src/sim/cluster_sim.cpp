@@ -1,0 +1,263 @@
+#include "sim/cluster_sim.h"
+
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "linalg/errors.h"
+
+namespace performa::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Task {
+  double remaining = 0.0;  // work left (speed-1 units)
+  double total = 0.0;      // original work (Restart resets to this)
+  double arrival = 0.0;    // arrival time (for system-time statistics)
+};
+
+struct Server {
+  bool up = true;
+  double next_toggle = kInf;  // absolute time of the next UP/DOWN switch
+  std::optional<Task> task;
+  double last_update = 0.0;   // time at which task->remaining was current
+
+  double speed(double nu_p, double delta) const noexcept {
+    return up ? nu_p : delta * nu_p;
+  }
+};
+
+}  // namespace
+
+const char* to_string(FailureStrategy s) noexcept {
+  switch (s) {
+    case FailureStrategy::kDiscard:
+      return "Discard";
+    case FailureStrategy::kRestartFront:
+      return "Restart(front)";
+    case FailureStrategy::kRestartBack:
+      return "Restart(back)";
+    case FailureStrategy::kResumeFront:
+      return "Resume(front)";
+    case FailureStrategy::kResumeBack:
+      return "Resume(back)";
+  }
+  return "?";
+}
+
+void ClusterSimConfig::validate() const {
+  PERFORMA_EXPECTS(n_servers >= 1, "ClusterSimConfig: n_servers >= 1");
+  PERFORMA_EXPECTS(nu_p > 0.0, "ClusterSimConfig: nu_p > 0");
+  PERFORMA_EXPECTS(delta >= 0.0 && delta <= 1.0,
+                   "ClusterSimConfig: delta in [0,1]");
+  PERFORMA_EXPECTS(lambda > 0.0, "ClusterSimConfig: lambda > 0");
+  PERFORMA_EXPECTS(static_cast<bool>(up) && static_cast<bool>(down) &&
+                       static_cast<bool>(task_work),
+                   "ClusterSimConfig: samplers must be set");
+  PERFORMA_EXPECTS(cycles > 0, "ClusterSimConfig: cycles > 0");
+}
+
+ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+
+  const unsigned n = config.n_servers;
+  const bool crash = config.delta == 0.0;
+
+  std::vector<Server> servers(n);
+  for (Server& s : servers) s.next_toggle = config.up(rng);
+
+  std::deque<Task> queue;
+  double now = 0.0;
+  auto draw_interarrival = [&config, &rng]() {
+    if (config.interarrival) return config.interarrival(rng);
+    return std::exponential_distribution<double>(config.lambda)(rng);
+  };
+  double next_arrival = draw_interarrival();
+
+  ClusterSimResult result;
+  result.queue_stats = TimeWeightedStats(config.histogram_cap);
+  TimeWeightedStats& stats = result.queue_stats;
+
+  std::size_t cycles_done = 0;  // completed DOWN->UP transitions
+  bool warm = config.warmup_cycles == 0;
+  double warm_start = 0.0;
+
+  // A server can serve iff UP, or DOWN with nonzero degraded speed.
+  auto can_serve = [&](const Server& s) { return s.up || !crash; };
+
+  // Refresh remaining work to `now` (the speed was constant since
+  // last_update because every speed change routes through here).
+  auto advance = [&](Server& s) {
+    if (s.task) {
+      s.task->remaining -= (now - s.last_update) * s.speed(config.nu_p,
+                                                           config.delta);
+      if (s.task->remaining < 0.0) s.task->remaining = 0.0;
+    }
+    s.last_update = now;
+  };
+
+  auto start_next = [&](Server& s) {
+    if (!queue.empty() && can_serve(s)) {
+      s.task = queue.front();
+      queue.pop_front();
+      s.last_update = now;
+    }
+  };
+
+  auto level = [&]() {
+    std::size_t busy = 0;
+    for (const Server& s : servers) busy += s.task.has_value() ? 1 : 0;
+    return queue.size() + busy;
+  };
+
+  auto completion_time = [&](const Server& s) {
+    if (!s.task) return kInf;
+    const double speed = s.speed(config.nu_p, config.delta);
+    if (speed <= 0.0) return kInf;
+    return s.last_update + s.task->remaining / speed;
+  };
+
+  const std::size_t total_cycles = config.warmup_cycles + config.cycles;
+  while (cycles_done < total_cycles) {
+    // Next event: arrival, earliest toggle, earliest completion.
+    double t_next = next_arrival;
+    int toggle_idx = -1;
+    int complete_idx = -1;
+    for (unsigned i = 0; i < n; ++i) {
+      if (servers[i].next_toggle < t_next) {
+        t_next = servers[i].next_toggle;
+        toggle_idx = static_cast<int>(i);
+        complete_idx = -1;
+      }
+      const double tc = completion_time(servers[i]);
+      if (tc < t_next) {
+        t_next = tc;
+        complete_idx = static_cast<int>(i);
+        toggle_idx = -1;
+      }
+    }
+
+    if (warm) stats.add(level(), t_next - now);
+    now = t_next;
+
+    if (complete_idx >= 0) {
+      Server& s = servers[static_cast<std::size_t>(complete_idx)];
+      advance(s);
+      if (warm) {
+        ++result.completed;
+        result.system_time.add(now - s.task->arrival);
+        result.system_time_hist.add(now - s.task->arrival);
+      }
+      s.task.reset();
+      start_next(s);
+    } else if (toggle_idx >= 0) {
+      Server& s = servers[static_cast<std::size_t>(toggle_idx)];
+      advance(s);
+      if (s.up) {
+        // UP -> DOWN.
+        s.up = false;
+        s.next_toggle = now + config.down(rng);
+        if (s.task && crash) {
+          Task t = *s.task;
+          s.task.reset();
+          switch (config.strategy) {
+            case FailureStrategy::kDiscard:
+              if (warm) ++result.discarded;
+              break;
+            case FailureStrategy::kRestartFront:
+              t.remaining = t.total;
+              queue.push_front(t);
+              break;
+            case FailureStrategy::kRestartBack:
+              t.remaining = t.total;
+              queue.push_back(t);
+              break;
+            case FailureStrategy::kResumeFront:
+              queue.push_front(t);
+              break;
+            case FailureStrategy::kResumeBack:
+              queue.push_back(t);
+              break;
+          }
+        }
+        // delta > 0: the task (if any) keeps running at degraded speed.
+      } else {
+        // DOWN -> UP: repair completes.
+        s.up = true;
+        s.next_toggle = now + config.up(rng);
+        ++cycles_done;
+        if (!warm && cycles_done >= config.warmup_cycles) {
+          warm = true;
+          warm_start = now;
+          stats.reset();
+          // Counters start from zero after warm-up by construction.
+        }
+        if (!s.task) start_next(s);
+      }
+      // Re-dispatch: the speed change may free capacity for queued tasks
+      // (e.g. a repaired idle server) -- handled above via start_next.
+    } else {
+      // Arrival.
+      Task t;
+      t.remaining = t.total = config.task_work(rng);
+      t.arrival = now;
+      if (warm) ++result.arrivals;
+      next_arrival = now + draw_interarrival();
+      // Prefer an idle UP server; fall back to an idle degraded server.
+      Server* target = nullptr;
+      for (Server& s : servers) {
+        if (!s.task && s.up) {
+          target = &s;
+          break;
+        }
+      }
+      if (!target && !crash) {
+        for (Server& s : servers) {
+          if (!s.task && !s.up) {
+            target = &s;
+            break;
+          }
+        }
+      }
+      if (target) {
+        target->task = t;
+        target->last_update = now;
+      } else {
+        queue.push_back(t);
+      }
+    }
+  }
+
+  result.cycles = cycles_done - config.warmup_cycles;
+  result.sim_time = now - warm_start;
+  result.mean_queue_length = stats.mean();
+  result.probability_empty = stats.pmf(0);
+  return result;
+}
+
+std::vector<ClusterSimResult> replicate_cluster(const ClusterSimConfig& config,
+                                                std::size_t replications) {
+  PERFORMA_EXPECTS(replications >= 1, "replicate_cluster: replications >= 1");
+  std::vector<ClusterSimResult> results;
+  results.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    ClusterSimConfig run = config;
+    run.seed = derive_seed(config.seed, r);
+    results.push_back(simulate_cluster(run));
+  }
+  return results;
+}
+
+ReplicationSummary mean_queue_length_summary(const ClusterSimConfig& config,
+                                             std::size_t replications) {
+  const auto results = replicate_cluster(config, replications);
+  std::vector<double> means;
+  means.reserve(results.size());
+  for (const auto& r : results) means.push_back(r.mean_queue_length);
+  return summarize_replications(means);
+}
+
+}  // namespace performa::sim

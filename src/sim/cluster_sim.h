@@ -1,0 +1,93 @@
+// Discrete-event simulation of the physical N-server cluster (Sec. 4 of
+// the paper): a FIFO dispatcher queue, N servers with their own UP/DOWN
+// renewal processes, degraded service speed delta*nu_p while DOWN, and --
+// for crash faults (delta = 0) -- the Discard / Restart / Resume failure
+// handling strategies with front- or back-of-queue re-insertion.
+//
+// Unlike the analytic M/MMPP/1 model this simulator is load-dependent:
+// a task is served by one server, so with fewer tasks than servers the
+// cluster cannot use its full capacity (the effect quantified in Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace performa::sim {
+
+/// What happens to the task being executed when its server crashes
+/// (only meaningful for delta = 0; degraded servers keep working).
+enum class FailureStrategy {
+  kDiscard,       ///< drop the interrupted task entirely
+  kRestartFront,  ///< re-run from scratch, head of the queue
+  kRestartBack,   ///< re-run from scratch, tail of the queue
+  kResumeFront,   ///< continue from the interruption point, head of queue
+  kResumeBack,    ///< continue from the interruption point, tail of queue
+};
+
+const char* to_string(FailureStrategy s) noexcept;
+
+/// Simulation parameters. Durations come from type-erased samplers so any
+/// distribution (phase-type or not) can be plugged in.
+struct ClusterSimConfig {
+  unsigned n_servers = 2;
+  double nu_p = 2.0;    ///< service speed of an UP server
+  double delta = 0.2;   ///< speed factor while DOWN (0 = crash)
+  double lambda = 1.0;  ///< Poisson task arrival rate
+
+  Sampler up = exponential_sampler_mean(90.0);    ///< TTF durations
+  Sampler down = exponential_sampler_mean(10.0);  ///< TTR durations
+  /// Optional renewal interarrival sampler. Unset (default): Poisson
+  /// arrivals at rate `lambda`. When set, it drives the arrival process
+  /// and `lambda` is only documentation (Sec. 2.4: general task arrival
+  /// processes).
+  Sampler interarrival;
+  /// Task work requirement (mean 1.0 reproduces the paper's exponential
+  /// task times with mean 1/nu_p at full speed).
+  Sampler task_work = exponential_sampler(1.0);
+
+  FailureStrategy strategy = FailureStrategy::kResumeBack;
+
+  /// Stop after this many completed UP/DOWN cycles (counted across all
+  /// servers, after warm-up). The paper uses 2e5 cycles per run.
+  std::size_t cycles = 20000;
+  /// Cycles discarded before statistics collection starts.
+  std::size_t warmup_cycles = 2000;
+
+  std::uint64_t seed = 1;
+  std::size_t histogram_cap = 4096;
+
+  void validate() const;
+};
+
+/// Point estimates from one simulation run.
+struct ClusterSimResult {
+  double mean_queue_length = 0.0;  ///< time-average number in system
+  double probability_empty = 0.0;
+  TimeWeightedStats queue_stats{0};  ///< full time-weighted distribution
+  SampleStats system_time;  ///< sojourn times of *completed* tasks
+  /// Log-binned sojourn-time distribution of completed tasks, for
+  /// delay-bound (QoS) tail estimates Pr(S > d).
+  LogHistogram system_time_hist{1e-3, 1e7, 16};
+  std::size_t arrivals = 0;
+  std::size_t completed = 0;
+  std::size_t discarded = 0;  ///< tasks dropped by the Discard strategy
+  std::size_t cycles = 0;     ///< UP/DOWN cycles simulated after warm-up
+  double sim_time = 0.0;      ///< simulated time after warm-up
+};
+
+/// Run one simulation.
+ClusterSimResult simulate_cluster(const ClusterSimConfig& config);
+
+/// Run `replications` independent runs (seeds derived from config.seed)
+/// and return all results.
+std::vector<ClusterSimResult> replicate_cluster(const ClusterSimConfig& config,
+                                                std::size_t replications);
+
+/// Convenience: replication summary of the mean queue length.
+ReplicationSummary mean_queue_length_summary(const ClusterSimConfig& config,
+                                             std::size_t replications);
+
+}  // namespace performa::sim

@@ -1,0 +1,198 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/errors.h"
+
+namespace performa::sim {
+
+void SampleStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SampleStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SampleStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+TimeWeightedStats::TimeWeightedStats(std::size_t histogram_cap)
+    : histogram_(histogram_cap + 1, 0.0) {}
+
+void TimeWeightedStats::add(std::size_t level, double duration) {
+  PERFORMA_EXPECTS(duration >= 0.0, "TimeWeightedStats: negative duration");
+  if (duration == 0.0) return;
+  histogram_[std::min(level, histogram_.size() - 1)] += duration;
+  weighted_sum_ += static_cast<double>(level) * duration;
+  total_time_ += duration;
+}
+
+void TimeWeightedStats::reset() noexcept {
+  std::fill(histogram_.begin(), histogram_.end(), 0.0);
+  weighted_sum_ = 0.0;
+  total_time_ = 0.0;
+}
+
+double TimeWeightedStats::mean() const {
+  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
+  return weighted_sum_ / total_time_;
+}
+
+double TimeWeightedStats::pmf(std::size_t level) const {
+  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
+  if (level >= histogram_.size()) return 0.0;
+  return histogram_[level] / total_time_;
+}
+
+double TimeWeightedStats::tail(std::size_t level) const {
+  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
+  double above = 0.0;
+  for (std::size_t k = std::min(level, histogram_.size() - 1);
+       k < histogram_.size(); ++k) {
+    above += histogram_[k];
+  }
+  return above / total_time_;
+}
+
+double t_quantile_95(std::size_t dof) noexcept {
+  // Two-sided 95% (i.e. 0.975 one-sided) quantiles, dof 1..30.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  return 1.96;
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           std::size_t bins_per_decade) {
+  PERFORMA_EXPECTS(0.0 < min_value && min_value < max_value,
+                   "LogHistogram: need 0 < min_value < max_value");
+  PERFORMA_EXPECTS(bins_per_decade >= 1, "LogHistogram: bins_per_decade >= 1");
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / static_cast<double>(bins_per_decade);
+  const double decades = std::log10(max_value) - log_min_;
+  n_bins_ = static_cast<std::size_t>(std::ceil(decades * bins_per_decade));
+  counts_.assign(n_bins_ + 2, 0);  // [0]=underflow, [n_bins_+1]=overflow
+}
+
+std::size_t LogHistogram::bin_of(double x) const {
+  if (x <= 0.0) return 0;
+  const double pos = (std::log10(x) - log_min_) / log_step_;
+  if (pos < 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx >= n_bins_) return n_bins_ + 1;
+  return idx + 1;
+}
+
+double LogHistogram::edge(std::size_t bin) const {
+  // Lower edge of bin i (1-based interior bins).
+  return std::pow(10.0, log_min_ + static_cast<double>(bin - 1) * log_step_);
+}
+
+void LogHistogram::add(double x) {
+  PERFORMA_EXPECTS(x >= 0.0, "LogHistogram: negative sample");
+  ++counts_[bin_of(x)];
+  ++count_;
+}
+
+double LogHistogram::tail(double x) const {
+  if (count_ == 0) return 0.0;
+  const std::size_t from = bin_of(x);
+  std::size_t above = 0;
+  // Count bins whose range lies fully above x: start after x's bin.
+  for (std::size_t b = from + 1; b < counts_.size(); ++b) above += counts_[b];
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+double LogHistogram::quantile_upper(double eps) const {
+  if (count_ == 0) {
+    throw NumericalError("LogHistogram::quantile_upper: no samples");
+  }
+  std::size_t above = 0;
+  for (std::size_t b = counts_.size(); b-- > 1;) {
+    above += counts_[b];
+    if (static_cast<double>(above) / static_cast<double>(count_) > eps) {
+      // Bin b is the first (from the top) pushing the tail beyond eps.
+      const std::size_t next = std::min(b + 1, n_bins_ + 1);
+      return edge(next);
+    }
+  }
+  return edge(1);
+}
+
+BatchMeans::BatchMeans(std::size_t n_batches) : n_batches_(n_batches) {
+  PERFORMA_EXPECTS(n_batches >= 2, "BatchMeans: need at least 2 batches");
+}
+
+void BatchMeans::add(double level, double duration) {
+  PERFORMA_EXPECTS(duration >= 0.0, "BatchMeans: negative duration");
+  while (duration > 0.0) {
+    const double room = batch_duration_ - current_time_;
+    const double take = std::min(room, duration);
+    current_sum_ += level * take;
+    current_time_ += take;
+    duration -= take;
+    if (current_time_ >= batch_duration_) close_batch();
+  }
+}
+
+void BatchMeans::close_batch() {
+  means_.push_back(current_sum_ / current_time_);
+  current_sum_ = 0.0;
+  current_time_ = 0.0;
+  if (means_.size() >= 2 * n_batches_) {
+    // Merge adjacent pairs (equal durations, so plain averages) and
+    // double the batch length: keeps memory O(n_batches) while the run
+    // grows unboundedly.
+    std::vector<double> merged;
+    merged.reserve(n_batches_);
+    for (std::size_t i = 0; i + 1 < means_.size(); i += 2) {
+      merged.push_back(0.5 * (means_[i] + means_[i + 1]));
+    }
+    means_ = std::move(merged);
+    batch_duration_ *= 2.0;
+  }
+}
+
+std::size_t BatchMeans::complete_batches() const noexcept {
+  return means_.size();
+}
+
+ReplicationSummary BatchMeans::summary() const {
+  if (means_.size() < 2) {
+    throw NumericalError(
+        "BatchMeans::summary: fewer than 2 complete batches");
+  }
+  return summarize_replications(means_);
+}
+
+ReplicationSummary summarize_replications(const std::vector<double>& values) {
+  PERFORMA_EXPECTS(!values.empty(),
+                   "summarize_replications: need at least one replication");
+  SampleStats stats;
+  for (double v : values) stats.add(v);
+  ReplicationSummary out;
+  out.replications = values.size();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  if (values.size() >= 2) {
+    out.ci_halfwidth = t_quantile_95(values.size() - 1) * stats.stddev() /
+                       std::sqrt(static_cast<double>(values.size()));
+  }
+  return out;
+}
+
+}  // namespace performa::sim

@@ -1,0 +1,146 @@
+// Statistics collection for the simulators: streaming sample moments,
+// time-weighted level statistics (queue-length process), and replication
+// summaries with Student-t confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace performa::sim {
+
+/// Streaming mean/variance via Welford's algorithm.
+class SampleStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted statistics of an integer-valued level process (the
+/// number-in-system): integral of the level, plus a histogram capped at
+/// `histogram_cap` (mass above the cap is pooled in the last bucket).
+class TimeWeightedStats {
+ public:
+  explicit TimeWeightedStats(std::size_t histogram_cap = 4096);
+
+  /// Record that the process sat at `level` for `duration` time units.
+  void add(std::size_t level, double duration);
+
+  /// Drop everything collected so far (end of warm-up).
+  void reset() noexcept;
+
+  double total_time() const noexcept { return total_time_; }
+  /// Time-average level (the simulated E[Q]).
+  double mean() const;
+  /// Time fraction at exactly `level` (levels above the cap pool at cap).
+  double pmf(std::size_t level) const;
+  /// Time fraction at or above `level` (for level <= cap).
+  double tail(std::size_t level) const;
+
+  std::size_t histogram_cap() const noexcept { return histogram_.size() - 1; }
+
+ private:
+  std::vector<double> histogram_;  // time at level k; last bucket pools >cap
+  double weighted_sum_ = 0.0;      // integral of level dt (exact levels)
+  double total_time_ = 0.0;
+};
+
+/// Aggregates per-replication point estimates into a mean and a 95%
+/// Student-t confidence half-width.
+struct ReplicationSummary {
+  double mean = 0.0;
+  double stddev = 0.0;       ///< across replications
+  double ci_halfwidth = 0.0; ///< 95% two-sided
+  std::size_t replications = 0;
+};
+
+/// Summarize independent replication estimates (needs >= 2 values for a
+/// non-zero CI; throws InvalidArgument when empty).
+ReplicationSummary summarize_replications(const std::vector<double>& values);
+
+/// Two-sided 95% Student-t quantile for the given degrees of freedom
+/// (tabulated to 30, normal beyond).
+double t_quantile_95(std::size_t dof) noexcept;
+
+/// Log-binned histogram for positive continuous samples (sojourn times):
+/// geometric bins cover [min_value, max_value), underflow/overflow are
+/// pooled at the ends. Tail queries are resolved at bin granularity.
+class LogHistogram {
+ public:
+  /// `bins_per_decade` geometric bins between min_value and max_value.
+  LogHistogram(double min_value = 1e-3, double max_value = 1e6,
+               std::size_t bins_per_decade = 16);
+
+  void add(double x);
+
+  std::size_t count() const noexcept { return count_; }
+
+  /// Fraction of samples strictly greater than x (bin-granular: counts
+  /// all samples in bins whose lower edge is >= x).
+  double tail(double x) const;
+
+  /// Smallest bin edge e with tail(e) <= eps (an upper quantile at bin
+  /// granularity); throws NumericalError when no samples are present.
+  double quantile_upper(double eps) const;
+
+ private:
+  std::size_t bin_of(double x) const;
+  double edge(std::size_t bin) const;
+
+  double log_min_;
+  double log_step_;
+  std::size_t n_bins_;
+  std::vector<std::size_t> counts_;  // n_bins_ + 2 (under/overflow)
+  std::size_t count_ = 0;
+};
+
+/// Batch-means estimator: a single long run is split into `n_batches`
+/// equal batches whose means are treated as (approximately) independent
+/// replications -- the classic alternative to independent replications
+/// when warm-up is expensive (heavy-tailed repair processes make it very
+/// expensive, Sec. 4 of the paper).
+class BatchMeans {
+ public:
+  /// `n_batches` >= 2; 10..30 is customary.
+  explicit BatchMeans(std::size_t n_batches = 20);
+
+  /// Feed one (time-weighted) observation: level held for `duration`.
+  void add(double level, double duration);
+
+  /// Number of complete batches so far (the last partial batch is
+  /// excluded from summaries).
+  std::size_t complete_batches() const noexcept;
+
+  /// Summary over complete batch means; throws NumericalError if fewer
+  /// than 2 batches completed.
+  ReplicationSummary summary() const;
+
+  /// Target batch duration is adaptive: batches close when their total
+  /// time reaches total_time/n_batches of everything seen so far, via
+  /// doubling. Returns the current batch-duration target.
+  double batch_duration() const noexcept { return batch_duration_; }
+
+ private:
+  void close_batch();
+
+  std::size_t n_batches_;
+  double batch_duration_ = 1.0;
+  double current_sum_ = 0.0;   // integral of level over the open batch
+  double current_time_ = 0.0;  // time in the open batch
+  std::vector<double> means_;
+};
+
+}  // namespace performa::sim

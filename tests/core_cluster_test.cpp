@@ -1,0 +1,212 @@
+// End-to-end checks of the analytic cluster model against the paper's
+// qualitative and quantitative claims (Sec. 3, Figs. 1-6).
+#include "core/cluster_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mm1.h"
+#include "medist/moment_fit.h"
+#include "test_util.h"
+
+namespace performa::core {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::fit_hyp2;
+using medist::make_tpt;
+using medist::TptSpec;
+using performa::testing::ExpectClose;
+
+ClusterParams PaperParams(unsigned t_phases) {
+  ClusterParams p;
+  p.n_servers = 2;
+  p.nu_p = 2.0;
+  p.delta = 0.2;
+  p.up = exponential_from_mean(90.0);
+  p.down = make_tpt(TptSpec{t_phases, 1.4, 0.2, 10.0});
+  return p;
+}
+
+TEST(ClusterModel, BasicQuantities) {
+  const ClusterModel m(PaperParams(10));
+  EXPECT_NEAR(m.availability(), 0.9, 1e-9);
+  EXPECT_NEAR(m.mean_service_rate(), 3.68, 1e-9);
+  EXPECT_NEAR(m.lambda_for_rho(0.5), 1.84, 1e-9);
+  EXPECT_NEAR(m.rho_for_lambda(1.84), 0.5, 1e-9);
+  EXPECT_THROW(m.lambda_for_rho(1.5), InvalidArgument);
+  EXPECT_THROW(m.rho_for_lambda(-1.0), InvalidArgument);
+}
+
+TEST(ClusterModel, BlowupParamsAdapter) {
+  const ClusterModel m(PaperParams(10));
+  const BlowupParams bp = m.blowup_params();
+  EXPECT_EQ(bp.n_servers, 2u);
+  EXPECT_NEAR(bp.availability, 0.9, 1e-9);
+  const auto rho = blowup_utilizations(bp);
+  EXPECT_NEAR(rho[0], 0.609, 5e-4);
+  EXPECT_NEAR(rho[1], 0.217, 5e-4);
+}
+
+TEST(ClusterModel, ExponentialRepairIsMildlyWorseThanMm1) {
+  // Fig. 1, solid line: normalized mean queue length grows smoothly and
+  // stays moderate (service-rate fluctuation effect only).
+  const ClusterModel m(PaperParams(1));
+  double prev = 1.0;
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double nql = m.normalized_mean_queue_length(rho);
+    EXPECT_GT(nql, 0.99) << rho;   // never better than M/M/1
+    EXPECT_LT(nql, 10.0) << rho;   // no blow-up for exponential repair
+    EXPECT_GT(nql, prev - 0.5) << rho;
+  }
+  (void)prev;
+}
+
+TEST(ClusterModel, BlowupRegionsVisibleForLargeT) {
+  // Fig. 1, T=10 curve: three qualitatively different regions.
+  const ClusterModel m(PaperParams(10));
+  const double low = m.normalized_mean_queue_length(0.10);
+  const double mid = m.normalized_mean_queue_length(0.40);
+  const double high = m.normalized_mean_queue_length(0.70);
+  // Region boundaries: the paper reports ~insensitive, elevated, and
+  // blown-up (x100) regimes.
+  const ClusterModel exp_repair(PaperParams(1));
+  EXPECT_LT(low, 1.3);
+  EXPECT_GT(mid, 1.4 * exp_repair.normalized_mean_queue_length(0.40));
+  EXPECT_LT(mid, high);
+  EXPECT_GT(high, 50.0);  // "100 times larger than M/M/1" in the paper
+}
+
+TEST(ClusterModel, InsensitiveRegionMatchesExponentialRepair) {
+  // Below rho_N the repair-time distribution barely matters.
+  const ClusterModel exp_repair(PaperParams(1));
+  const ClusterModel tpt_repair(PaperParams(9));
+  const double rho = 0.10;  // below 0.217
+  const double a = exp_repair.normalized_mean_queue_length(rho);
+  const double b = tpt_repair.normalized_mean_queue_length(rho);
+  ExpectClose(a, b, 0.25, "normalized E[Q] in insensitive region");
+}
+
+TEST(ClusterModel, MeanQueueLengthGrowsWithT) {
+  // Longer power-tail range -> strictly worse mean queue length in the
+  // blow-up region.
+  const double rho = 0.7;
+  double prev = 0.0;
+  for (unsigned t : {1u, 5u, 9u, 10u}) {
+    const ClusterModel m(PaperParams(t));
+    const double nql = m.normalized_mean_queue_length(rho);
+    EXPECT_GT(nql, prev) << "T=" << t;
+    prev = nql;
+  }
+}
+
+TEST(ClusterModel, QueueLengthPmfShowsPowerLawInBlowupRegion) {
+  // Fig. 2: at rho = 0.7 (region 1) the pmf follows a power law with
+  // exponent ~ beta_1 = alpha = 1.4 over the mid range.
+  const ClusterModel m(PaperParams(9));
+  const auto sol = m.solve(m.lambda_for_rho(0.7));
+  const auto pmf = sol.pmf_upto(2000);
+
+  // Regress log pmf on log k between k=20 and k=600.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t k = 20; k <= 600; k += 10) {
+    const double x = std::log(static_cast<double>(k));
+    const double y = std::log(pmf[k]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -1.4, 0.25) << "pmf power-law exponent at rho=0.7";
+}
+
+TEST(ClusterModel, PmfDecaysGeometricallyInInsensitiveRegion) {
+  // Fig. 2, rho = 0.1: exponential decay like M/M/1 -- the pmf ratio
+  // stabilizes instead of following a power law.
+  const ClusterModel m(PaperParams(9));
+  const auto sol = m.solve(m.lambda_for_rho(0.1));
+  const auto pmf = sol.pmf_upto(60);
+  const double r1 = pmf[30] / pmf[25];
+  const double r2 = pmf[55] / pmf[50];
+  ExpectClose(r1, r2, 0.05, "geometric ratio");
+}
+
+TEST(ClusterModel, TailProbabilitiesBlowUpAcrossBoundary) {
+  // Fig. 3: Pr(Q >= 500) jumps by orders of magnitude across rho_1.
+  const ClusterModel m(PaperParams(10));
+  const double below = m.solve(m.lambda_for_rho(0.5)).tail(500);
+  const double above = m.solve(m.lambda_for_rho(0.7)).tail(500);
+  EXPECT_GT(above, below * 30.0);
+  // And the region-2 boundary is even more dramatic (geometric -> power).
+  const double insensitive = m.solve(m.lambda_for_rho(0.1)).tail(500);
+  EXPECT_GT(below, insensitive * 1e10);
+}
+
+TEST(ClusterModel, Hyp2MatchesTptInWorstRegion) {
+  // Fig. 4: HYP-2 with matched 3 moments closely reproduces the mean
+  // queue length in the right-hand blow-up region.
+  const ClusterParams tpt_params = PaperParams(10);
+  ClusterParams hyp_params = tpt_params;
+  hyp_params.down = fit_hyp2(tpt_params.down).to_distribution();
+
+  const ClusterModel tpt_model(tpt_params);
+  const ClusterModel hyp_model(hyp_params);
+  const double rho = 0.75;
+  ExpectClose(tpt_model.normalized_mean_queue_length(rho),
+              hyp_model.normalized_mean_queue_length(rho), 0.30,
+              "TPT vs HYP-2 normalized E[Q]");
+}
+
+TEST(ClusterModel, Hyp2IntermediateRegionSlightlyLower) {
+  // Fig. 4 note: in the intermediate region the HYP-2 curve sits slightly
+  // below the TPT curve.
+  const ClusterParams tpt_params = PaperParams(10);
+  ClusterParams hyp_params = tpt_params;
+  hyp_params.down = fit_hyp2(tpt_params.down).to_distribution();
+  const double rho = 0.4;
+  const double tpt_nql =
+      ClusterModel(tpt_params).normalized_mean_queue_length(rho);
+  const double hyp_nql =
+      ClusterModel(hyp_params).normalized_mean_queue_length(rho);
+  EXPECT_LT(hyp_nql, tpt_nql * 1.05);
+}
+
+TEST(ClusterModel, UnstableArrivalRateThrows) {
+  const ClusterModel m(PaperParams(5));
+  EXPECT_THROW(m.solve(3.7), NumericalError);  // nu_bar = 3.68
+}
+
+TEST(ClusterModel, NormalizedConvergesAcrossModelsForHighRho) {
+  // Fig. 1 note: for rho -> 1 every curve grows like 1/(1-rho); the
+  // normalized value flattens (finite limit), so the ratio between rho =
+  // 0.95 and rho = 0.90 normalized values stays moderate.
+  const ClusterModel m(PaperParams(5));
+  const double at90 = m.normalized_mean_queue_length(0.90);
+  const double at95 = m.normalized_mean_queue_length(0.95);
+  EXPECT_LT(at95 / at90, 3.0);
+}
+
+// Property: solution sanity across the utilization sweep used in Fig. 1.
+class ClusterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClusterSweep, SolutionInvariantsHold) {
+  const double rho = GetParam();
+  const ClusterModel m(PaperParams(9));
+  const auto sol = m.solve(m.lambda_for_rho(rho));
+  EXPECT_GT(sol.probability_empty(), 0.0);
+  EXPECT_LT(sol.probability_empty(), 1.0);
+  EXPECT_GT(sol.mean_queue_length(), core::mm1::mean_queue_length(rho) * 0.9);
+  EXPECT_LT(sol.decay_rate(), 1.0);
+  // Little's-law style sanity: utilization equals 1 - P(empty in service
+  // terms) is not exact for MMPP service, but P(empty) < 1 - rho + margin.
+  EXPECT_LT(sol.probability_empty(), 1.0 - rho + 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, ClusterSweep,
+                         ::testing::Values(0.05, 0.15, 0.25, 0.4, 0.55, 0.65,
+                                           0.75, 0.85, 0.92));
+
+}  // namespace
+}  // namespace performa::core

@@ -1,0 +1,124 @@
+#include "core/nburst.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::core {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::TptSpec;
+using performa::testing::ExpectClose;
+
+NBurstParams PaperDual(unsigned t_phases) {
+  // The telco dual of the paper's cluster: ON periods play the role of
+  // the repair (DOWN) periods -- the high-variance periods are the ones
+  // during which the queue drifts up.
+  NBurstParams p;
+  p.n_sources = 2;
+  p.lambda_p = 2.0;
+  p.on = make_tpt(TptSpec{t_phases, 1.4, 0.2, 10.0});
+  p.off = exponential_from_mean(90.0);
+  return p;
+}
+
+TEST(NBurst, BurstinessAndMeanRate) {
+  const NBurstModel m(PaperDual(1));
+  // ON fraction = 10/100; b = OFF fraction = 0.9.
+  EXPECT_NEAR(m.burstiness(), 0.9, 1e-9);
+  EXPECT_NEAR(m.mean_arrival_rate(), 2 * 2.0 * 0.1, 1e-9);
+}
+
+TEST(NBurst, MuForRho) {
+  const NBurstModel m(PaperDual(1));
+  EXPECT_NEAR(m.mu_for_rho(0.5), m.mean_arrival_rate() / 0.5, 1e-12);
+  EXPECT_THROW(m.mu_for_rho(0.0), InvalidArgument);
+  EXPECT_THROW(m.mu_for_rho(1.0), InvalidArgument);
+}
+
+TEST(NBurst, SolveGivesStableQueue) {
+  const NBurstModel m(PaperDual(5));
+  const auto sol = m.solve(m.mu_for_rho(0.5));
+  EXPECT_GT(sol.mean_queue_length(), 0.0);
+  EXPECT_LT(sol.decay_rate(), 1.0);
+}
+
+TEST(NBurst, BurstyArrivalsWorseThanPoisson) {
+  // At equal utilization, the MMPP/M/1 queue dominates M/M/1.
+  const NBurstModel m(PaperDual(5));
+  const double rho = 0.6;
+  const auto sol = m.solve(m.mu_for_rho(rho));
+  EXPECT_GT(sol.mean_queue_length(), mm1::mean_queue_length(rho));
+}
+
+TEST(NBurst, HighVarianceOnPeriodsBlowUpTheQueue) {
+  // Mirror of the cluster blow-up: larger T -> heavier ON tail -> larger
+  // mean queue length at fixed utilization.
+  const double rho = 0.7;
+  double prev = 0.0;
+  for (unsigned t : {1u, 5u, 9u}) {
+    const NBurstModel m(PaperDual(t));
+    const double mql = m.solve(m.mu_for_rho(rho)).mean_queue_length();
+    EXPECT_GT(mql, prev) << "T=" << t;
+    prev = mql;
+  }
+}
+
+TEST(NBurst, BackgroundTrafficShiftsArrivalRate) {
+  NBurstParams p = PaperDual(1);
+  p.background_rate = 0.5;
+  const NBurstModel m(p);
+  EXPECT_NEAR(m.mean_arrival_rate(), 0.4 + 0.5, 1e-9);
+  const auto sol = m.solve(m.mu_for_rho(0.5));
+  EXPECT_GT(sol.mean_queue_length(), 0.0);
+
+  NBurstParams bad = PaperDual(1);
+  bad.background_rate = -0.1;
+  EXPECT_THROW(NBurstModel{bad}, InvalidArgument);
+}
+
+TEST(NBurst, CorrespondenceWithClusterModel) {
+  // Sec. 2.3 table: the cluster availability A corresponds to 1-b, peak
+  // service rate nu_p to peak arrival rate lambda_p.
+  ClusterParams cp;  // defaults: N=2, nu_p=2, A=0.9, exp repair
+  const ClusterModel cluster(cp);
+
+  NBurstParams np;
+  np.n_sources = cp.n_servers;
+  np.lambda_p = cp.nu_p;
+  np.on = cp.down;   // ON <-> DOWN: the rate-modulating burst periods
+  np.off = cp.up;    // OFF <-> UP
+  const NBurstModel telco(np);
+
+  EXPECT_NEAR(1.0 - telco.burstiness(), 1.0 - cluster.availability(), 1e-9);
+  // With delta = 0 the cluster's mean service rate N nu_p A equals the
+  // dual's... (the dual aggregates over ON = DOWN periods instead):
+  // N lambda_p (1-b) where 1-b = 1-A here.
+  EXPECT_NEAR(telco.mean_arrival_rate(),
+              cp.n_servers * cp.nu_p * (1.0 - cluster.availability()), 1e-9);
+}
+
+// Property: stability iff rho < 1 across utilization sweep.
+class NBurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NBurstSweep, SolvesAndNormalizes) {
+  const double rho = GetParam();
+  const NBurstModel m(PaperDual(5));
+  const auto sol = m.solve(m.mu_for_rho(rho));
+  const auto pmf = sol.pmf_upto(100);
+  double total = 0.0;
+  for (double x : pmf) total += x;
+  total += sol.tail(101);
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, NBurstSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace performa::core

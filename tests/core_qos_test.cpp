@@ -1,0 +1,115 @@
+#include "core/qos.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "medist/tpt.h"
+#include "sim/cluster_sim.h"
+#include "test_util.h"
+
+namespace performa::core {
+namespace {
+
+using performa::testing::ExpectClose;
+
+ClusterModel PaperModel(unsigned t) {
+  ClusterParams p;
+  p.down = medist::make_tpt(medist::TptSpec{t, 1.4, 0.2, 10.0});
+  return ClusterModel(std::move(p));
+}
+
+TEST(Qos, ViolationEqualsQueueTail) {
+  const ClusterModel m = PaperModel(5);
+  const auto sol = m.solve(m.lambda_for_rho(0.6));
+  const double nu_bar = m.mean_service_rate();
+  // d*nu_bar = 100 exactly: Pr(S > d) ~ Pr(Q > 100) = tail(101).
+  const double d = 100.0 / nu_bar;
+  EXPECT_NEAR(delay_violation_probability(sol, d, nu_bar), sol.tail(101),
+              1e-15);
+  EXPECT_NEAR(deadline_success_probability(sol, d, nu_bar),
+              1.0 - sol.tail(101), 1e-15);
+}
+
+TEST(Qos, ViolationDecreasesWithDeadline) {
+  const ClusterModel m = PaperModel(5);
+  const auto sol = m.solve(m.lambda_for_rho(0.7));
+  const double nu_bar = m.mean_service_rate();
+  double prev = 1.1;
+  for (double d : {1.0, 10.0, 50.0, 200.0, 1000.0}) {
+    const double v = delay_violation_probability(sol, d, nu_bar);
+    EXPECT_LE(v, prev) << d;
+    prev = v;
+  }
+}
+
+TEST(Qos, MinDeadlineInvertsViolation) {
+  const ClusterModel m = PaperModel(5);
+  const auto sol = m.solve(m.lambda_for_rho(0.5));
+  const double nu_bar = m.mean_service_rate();
+  for (double eps : {1e-2, 1e-4, 1e-6}) {
+    const double d = min_deadline_for(sol, eps, nu_bar);
+    EXPECT_LE(delay_violation_probability(sol, d, nu_bar), eps) << eps;
+    // One task less must violate eps (minimality up to granularity).
+    if (d > 2.0 / nu_bar) {
+      EXPECT_GT(delay_violation_probability(sol, d - 1.5 / nu_bar, nu_bar),
+                eps)
+          << eps;
+    }
+  }
+}
+
+TEST(Qos, MinDeadlineGrowsExplosivelyAcrossBlowup) {
+  // The deliverable-latency cost of crossing rho_1.
+  const ClusterModel m = PaperModel(9);
+  const double nu_bar = m.mean_service_rate();
+  const double d_below =
+      min_deadline_for(m.solve(m.lambda_for_rho(0.5)), 1e-4, nu_bar);
+  const double d_above =
+      min_deadline_for(m.solve(m.lambda_for_rho(0.7)), 1e-4, nu_bar);
+  EXPECT_GT(d_above, 20.0 * d_below);
+}
+
+TEST(Qos, Validation) {
+  const ClusterModel m = PaperModel(2);
+  const auto sol = m.solve(1.0);
+  EXPECT_THROW(delay_violation_probability(sol, -1.0, 3.68), InvalidArgument);
+  EXPECT_THROW(delay_violation_probability(sol, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(min_deadline_for(sol, 0.0, 3.68), InvalidArgument);
+  EXPECT_THROW(min_deadline_for(sol, 1e-300, 3.68, 64), NumericalError);
+}
+
+TEST(Qos, ApproximationTracksSimulatedSojournTail) {
+  // The substantive check: compare Pr(S > d) from the queue-tail
+  // approximation against the sojourn times measured in the
+  // multiprocessor simulation. In the power-law region exact agreement
+  // is not expected (the approximation ignores service-order effects and
+  // load dependence); require the right order of magnitude.
+  ClusterParams p;
+  p.down = medist::make_tpt(medist::TptSpec{5, 1.4, 0.5, 10.0});
+  const ClusterModel m(p);
+  const double rho = 0.6;
+  const double lambda = m.lambda_for_rho(rho);
+  const double nu_bar = m.mean_service_rate();
+  const auto sol = m.solve(lambda);
+
+  sim::ClusterSimConfig cfg;
+  cfg.lambda = lambda;
+  cfg.up = sim::me_sampler(p.up);
+  cfg.down = sim::me_sampler(p.down);
+  cfg.cycles = 60000;
+  cfg.warmup_cycles = 6000;
+  cfg.seed = 31415;
+  const auto res = sim::simulate_cluster(cfg);
+
+  for (double d : {5.0, 20.0, 80.0}) {
+    const double approx = delay_violation_probability(sol, d, nu_bar);
+    const double simulated = res.system_time_hist.tail(d);
+    if (simulated < 1e-4) continue;  // too few samples to compare
+    EXPECT_LT(std::abs(std::log10(approx / simulated)), 1.0)
+        << "d=" << d << " approx=" << approx << " sim=" << simulated;
+  }
+}
+
+}  // namespace
+}  // namespace performa::core

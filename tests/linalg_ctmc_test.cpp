@@ -1,0 +1,123 @@
+#include "linalg/ctmc.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace performa::linalg {
+namespace {
+
+using performa::testing::RandomGenerator;
+
+TEST(GeneratorValidation, AcceptsValidGenerator) {
+  const Matrix q{{-1.0, 1.0}, {2.0, -2.0}};
+  EXPECT_TRUE(is_generator(q));
+  EXPECT_NO_THROW(validate_generator(q));
+}
+
+TEST(GeneratorValidation, RejectsBadRowSum) {
+  const Matrix q{{-1.0, 0.5}, {2.0, -2.0}};
+  EXPECT_FALSE(is_generator(q));
+  EXPECT_THROW(validate_generator(q), InvalidArgument);
+}
+
+TEST(GeneratorValidation, RejectsNegativeOffDiagonal) {
+  const Matrix q{{1.0, -1.0}, {2.0, -2.0}};
+  EXPECT_FALSE(is_generator(q));
+  EXPECT_THROW(validate_generator(q), InvalidArgument);
+}
+
+TEST(GeneratorValidation, RejectsNonSquare) {
+  EXPECT_FALSE(is_generator(Matrix(2, 3)));
+}
+
+TEST(StochasticValidation, Accepts) {
+  EXPECT_TRUE(is_stochastic(Matrix{{0.5, 0.5}, {0.25, 0.75}}));
+  EXPECT_FALSE(is_stochastic(Matrix{{0.5, 0.6}, {0.25, 0.75}}));
+  EXPECT_FALSE(is_stochastic(Matrix{{1.5, -0.5}, {0.25, 0.75}}));
+}
+
+TEST(Gth, TwoStateClosedForm) {
+  // Rates a: 0->1, b: 1->0; pi = (b, a)/(a+b).
+  const double a = 0.3, b = 1.7;
+  const Matrix q{{-a, a}, {b, -b}};
+  const Vector pi = stationary_distribution(q);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-14);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-14);
+}
+
+TEST(Gth, SingleStateIsTrivial) {
+  const Vector pi = stationary_distribution(Matrix{{0.0}});
+  EXPECT_EQ(pi, Vector{1.0});
+}
+
+TEST(Gth, BirthDeathChainClosedForm) {
+  // Birth rate l, death rate m on 4 states: pi_k ~ (l/m)^k.
+  const double l = 0.7, m = 1.3;
+  Matrix q(4, 4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    double out = 0.0;
+    if (i < 3) {
+      q(i, i + 1) = l;
+      out += l;
+    }
+    if (i > 0) {
+      q(i, i - 1) = m;
+      out += m;
+    }
+    q(i, i) = -out;
+  }
+  const Vector pi = stationary_distribution(q);
+  const double r = l / m;
+  const double norm = 1.0 + r + r * r + r * r * r;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(pi[k], std::pow(r, k) / norm, 1e-13) << "state " << k;
+  }
+}
+
+TEST(Gth, ReducibleChainThrows) {
+  // Two disconnected 1-state components.
+  const Matrix q{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_THROW(stationary_distribution(q), NumericalError);
+}
+
+TEST(Gth, ExtremeRateScalesStayAccurate) {
+  // Availability-style chain with rates spanning 8 decades; GTH must not
+  // lose the small stationary mass to cancellation.
+  const double fail = 1e-8, repair = 1.0;
+  const Matrix q{{-fail, fail}, {repair, -repair}};
+  const Vector pi = stationary_distribution(q);
+  EXPECT_NEAR(pi[1], fail / (fail + repair), 1e-22);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-15);
+}
+
+TEST(GthDtmc, TwoStateChain) {
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  const Vector pi = stationary_distribution_dtmc(p);
+  // pi = (0.8, 0.2): detailed balance 0.8*0.1 = 0.2*0.4.
+  EXPECT_NEAR(pi[0], 0.8, 1e-13);
+  EXPECT_NEAR(pi[1], 0.2, 1e-13);
+}
+
+TEST(StationaryReward, MatchesDotProduct) {
+  const Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+  EXPECT_NEAR(stationary_reward(q, Vector{0.0, 10.0}), 5.0, 1e-13);
+}
+
+// Property: pi Q = 0, pi >= 0, pi e = 1 across random irreducible chains.
+class GthProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GthProperty, StationaryEquationsHold) {
+  const std::size_t n = GetParam();
+  const Matrix q = RandomGenerator(n, static_cast<unsigned>(n * 31));
+  const Vector pi = stationary_distribution(q);
+  EXPECT_NEAR(sum(pi), 1.0, 1e-13);
+  for (double x : pi) EXPECT_GE(x, 0.0);
+  EXPECT_LT(norm_inf(pi * q), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GthProperty,
+                         ::testing::Values(2, 3, 4, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace performa::linalg

@@ -1,0 +1,114 @@
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ctmc.h"
+#include "linalg/lu.h"
+#include "test_util.h"
+
+namespace performa::linalg {
+namespace {
+
+using performa::testing::RandomGenerator;
+using performa::testing::RandomMatrix;
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  const Matrix e = expm(Matrix(3, 3, 0.0));
+  EXPECT_LT(max_abs_diff(e, Matrix::identity(3)), 1e-15);
+}
+
+TEST(Expm, ScalarCase) {
+  const Matrix e = expm(Matrix{{1.0}});
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  const Matrix big = expm(Matrix{{25.0}});  // forces squaring stage
+  EXPECT_NEAR(big(0, 0) / std::exp(25.0), 1.0, 1e-11);
+}
+
+TEST(Expm, DiagonalMatrix) {
+  const Matrix e = expm(Matrix::diag({-1.0, 0.0, 2.0}));
+  EXPECT_NEAR(e(0, 0), std::exp(-1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+  const Matrix e = expm(Matrix{{0, 1}, {0, 0}});
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationClosedForm) {
+  // exp([[0,-t],[t,0]]) = rotation by t.
+  const double t = 1.234;
+  const Matrix e = expm(Matrix{{0, -t}, {t, 0}});
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-13);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-13);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-13);
+}
+
+TEST(Expm, InverseProperty) {
+  const Matrix a = RandomMatrix(5, 77);
+  EXPECT_LT(max_abs_diff(expm(a) * expm(-a), Matrix::identity(5)), 1e-10);
+}
+
+TEST(Expm, CommutingSumFactorizes) {
+  // A and A^2 commute: exp(A + A^2)= exp(A) exp(A^2).
+  const Matrix a = 0.5 * RandomMatrix(4, 21);
+  const Matrix a2 = a * a;
+  EXPECT_LT(max_abs_diff(expm(a + a2), expm(a) * expm(a2)), 1e-10);
+}
+
+TEST(Expm, GeneratorGivesStochasticMatrix) {
+  const Matrix q = RandomGenerator(5, 99);
+  for (double t : {0.1, 1.0, 10.0, 100.0}) {
+    const Matrix p = expm(t * q);
+    EXPECT_TRUE(is_stochastic(p, 1e-8)) << "t=" << t;
+  }
+}
+
+TEST(Expm, LongHorizonConvergesToStationary) {
+  const Matrix q = RandomGenerator(4, 3);
+  const Vector pi = stationary_distribution(q);
+  const Matrix p = expm(1e4 * q);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(p(r, c), pi[c], 1e-8) << r << "," << c;
+    }
+  }
+}
+
+TEST(Expm, RejectsNonSquare) {
+  EXPECT_THROW(expm(Matrix(2, 3)), InvalidArgument);
+}
+
+// Property: semigroup law exp(2A) = exp(A)^2 across sizes/scales.
+struct ExpmCase {
+  std::size_t n;
+  double scale;
+};
+
+class ExpmProperty : public ::testing::TestWithParam<ExpmCase> {};
+
+TEST_P(ExpmProperty, SemigroupLaw) {
+  const auto [n, scale] = GetParam();
+  const Matrix a = scale * RandomMatrix(n, static_cast<unsigned>(n + 7));
+  const Matrix once = expm(a);
+  const Matrix twice = expm(2.0 * a);
+  const double tol = 1e-9 * std::max(1.0, norm_inf(twice));
+  EXPECT_LT(max_abs_diff(twice, once * once), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExpmProperty,
+                         ::testing::Values(ExpmCase{2, 0.1}, ExpmCase{2, 5.0},
+                                           ExpmCase{4, 1.0}, ExpmCase{6, 3.0},
+                                           ExpmCase{8, 0.5},
+                                           ExpmCase{10, 2.0}));
+
+}  // namespace
+}  // namespace performa::linalg

@@ -1,0 +1,191 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace performa::linalg {
+namespace {
+
+using performa::testing::ExpectClose;
+using performa::testing::RandomMatrix;
+
+TEST(MatrixBasics, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixBasics, FillConstruction) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 1.5);
+}
+
+TEST(MatrixBasics, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixBasics, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(MatrixBasics, MixedZeroDimensionsThrow) {
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+  EXPECT_THROW(Matrix(3, 0), InvalidArgument);
+}
+
+TEST(MatrixBasics, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(MatrixBasics, RowColRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  m.set_row(0, {7, 8, 9});
+  EXPECT_EQ(m.row(0), (Vector{7, 8, 9}));
+  m.set_col(0, {0, 1});
+  EXPECT_EQ(m.col(0), (Vector{0, 1}));
+}
+
+TEST(MatrixBasics, SetRowShapeMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.set_row(0, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(m.set_col(0, {1.0}), InvalidArgument);
+}
+
+TEST(MatrixBasics, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(t(c, r), m(r, c));
+}
+
+TEST(MatrixArithmetic, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix s = a + b;
+  for (double x : s.data()) EXPECT_EQ(x, 5.0);
+  Matrix d = a - a;
+  for (double x : d.data()) EXPECT_EQ(x, 0.0);
+  Matrix sc = 2.0 * a;
+  EXPECT_EQ(sc(1, 1), 8.0);
+  sc /= 2.0;
+  EXPECT_EQ(sc(1, 1), 4.0);
+  EXPECT_THROW(sc /= 0.0, InvalidArgument);
+}
+
+TEST(MatrixArithmetic, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(3, 3);
+  EXPECT_THROW(a += b, InvalidArgument);
+  EXPECT_THROW(a - b, InvalidArgument);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(MatrixArithmetic, ProductAgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixArithmetic, IdentityIsNeutral) {
+  const Matrix a = RandomMatrix(6, 42);
+  const Matrix eye = Matrix::identity(6);
+  EXPECT_LT(max_abs_diff(a * eye, a), 1e-15);
+  EXPECT_LT(max_abs_diff(eye * a, a), 1e-15);
+}
+
+TEST(MatrixArithmetic, MatrixVectorProducts) {
+  Matrix a{{1, 2}, {3, 4}};
+  Vector x{1, 1};
+  EXPECT_EQ(a * x, (Vector{3, 7}));
+  EXPECT_EQ(x * a, (Vector{4, 6}));
+}
+
+TEST(MatrixArithmetic, AssociativityNumerically) {
+  const Matrix a = RandomMatrix(5, 1);
+  const Matrix b = RandomMatrix(5, 2);
+  const Matrix c = RandomMatrix(5, 3);
+  EXPECT_LT(max_abs_diff((a * b) * c, a * (b * c)), 1e-12);
+}
+
+TEST(VectorHelpers, DotSumAxpy) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(sum(a), 6.0);
+  axpy(2.0, a, b);
+  EXPECT_EQ(b, (Vector{6, 9, 12}));
+  EXPECT_THROW(dot(a, Vector{1.0}), InvalidArgument);
+}
+
+TEST(VectorHelpers, OnesAndScale) {
+  EXPECT_EQ(sum(ones(7)), 7.0);
+  Vector v = 3.0 * ones(2);
+  EXPECT_EQ(v, (Vector{3, 3}));
+}
+
+TEST(Norms, HandComputed) {
+  Matrix m{{1, -2}, {-3, 4}};
+  EXPECT_EQ(norm_inf(m), 7.0);  // row 1: 3+4
+  EXPECT_EQ(norm_1(m), 6.0);    // col 1: 2+4
+  ExpectClose(norm_fro(m), std::sqrt(30.0), 1e-15);
+  Vector v{-5, 2};
+  EXPECT_EQ(norm_inf(v), 5.0);
+  EXPECT_EQ(norm_1(v), 7.0);
+}
+
+TEST(Norms, DiagFactory) {
+  Matrix d = Matrix::diag({1, 2, 3});
+  EXPECT_EQ(d(1, 1), 2.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+  EXPECT_EQ(norm_inf(d), 3.0);
+}
+
+TEST(Printing, StreamOutputIsNonEmpty) {
+  std::ostringstream os;
+  os << Matrix{{1, 2}, {3, 4}};
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  EXPECT_NE(os.str().find("4"), std::string::npos);
+}
+
+// Property sweep: (A+B)^T = A^T + B^T and (AB)^T = B^T A^T across sizes.
+class TransposeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransposeProperty, LinearityAndProductRule) {
+  const std::size_t n = GetParam();
+  const Matrix a = RandomMatrix(n, static_cast<unsigned>(n));
+  const Matrix b = RandomMatrix(n, static_cast<unsigned>(n + 100));
+  EXPECT_LT(max_abs_diff((a + b).transposed(),
+                         a.transposed() + b.transposed()),
+            1e-14);
+  EXPECT_LT(max_abs_diff((a * b).transposed(),
+                         b.transposed() * a.transposed()),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransposeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace performa::linalg

@@ -1,0 +1,127 @@
+// Independent validation of Map::interarrival_scv /
+// interarrival_correlation: simulate the MAP as a marked CTMC and compare
+// sample statistics of consecutive interarrival times against the
+// matrix formulas.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "map/lumped_aggregate.h"
+#include "map/map_process.h"
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::map {
+namespace {
+
+using performa::testing::ExpectClose;
+
+struct SeriesStats {
+  double mean = 0.0;
+  double scv = 0.0;
+  double lag1 = 0.0;
+};
+
+// Simulate `n` marked events of the MAP and return interarrival stats.
+SeriesStats SimulateMap(const Map& m, std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  const std::size_t dim = m.dim();
+  // Start in the stationary phase distribution.
+  std::size_t phase = 0;
+  {
+    const auto pi = m.stationary_phases();
+    double u = uni(rng), cum = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      cum += pi[i];
+      if (u <= cum) {
+        phase = i;
+        break;
+      }
+    }
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  double since_last = 0.0;
+  while (gaps.size() < n) {
+    // Total outflow rate of the current phase.
+    const double hold = -m.d0()(phase, phase);
+    since_last += std::exponential_distribution<double>(hold)(rng);
+    // Pick the transition: D0 off-diagonal or D1 (marked).
+    double u = uni(rng) * hold;
+    bool marked = false;
+    std::size_t next = phase;
+    for (std::size_t j = 0; j < dim && u >= 0.0; ++j) {
+      if (j != phase) {
+        u -= m.d0()(phase, j);
+        if (u < 0.0) {
+          next = j;
+          break;
+        }
+      }
+      u -= m.d1()(phase, j);
+      if (u < 0.0) {
+        next = j;
+        marked = true;
+        break;
+      }
+    }
+    phase = next;
+    if (marked) {
+      gaps.push_back(since_last);
+      since_last = 0.0;
+    }
+  }
+
+  SeriesStats out;
+  double s1 = 0.0, s2 = 0.0;
+  for (double x : gaps) {
+    s1 += x;
+    s2 += x * x;
+  }
+  out.mean = s1 / static_cast<double>(n);
+  const double var = s2 / static_cast<double>(n) - out.mean * out.mean;
+  out.scv = var / (out.mean * out.mean);
+  double cov = 0.0;
+  for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+    cov += (gaps[i] - out.mean) * (gaps[i + 1] - out.mean);
+  }
+  out.lag1 = cov / (static_cast<double>(n - 1) * var);
+  return out;
+}
+
+TEST(MapSimulation, PoissonStatistics) {
+  const Map m = poisson_map(2.0);
+  const auto s = SimulateMap(m, 300000, 7);
+  ExpectClose(s.mean, 0.5, 0.02, "mean");
+  ExpectClose(s.scv, 1.0, 0.03, "scv");
+  EXPECT_NEAR(s.lag1, 0.0, 0.01);
+}
+
+TEST(MapSimulation, AggregatedClusterMapMatchesFormulas) {
+  const ServerModel server(medist::exponential_from_mean(90.0),
+                           medist::exponential_from_mean(10.0), 2.0, 0.0);
+  const LumpedAggregate agg(server, 2);
+  const Map m = as_map(agg.mmpp());
+
+  const auto s = SimulateMap(m, 2000000, 13);
+  ExpectClose(s.mean, 1.0 / m.mean_rate(), 0.02, "mean interarrival");
+  ExpectClose(s.scv, m.interarrival_scv(), 0.06, "scv");
+  // Correlations are small; compare with generous absolute tolerance.
+  EXPECT_NEAR(s.lag1, m.interarrival_correlation(1),
+              0.15 * m.interarrival_correlation(1) + 0.002);
+  EXPECT_GT(s.lag1, 0.0);
+}
+
+TEST(MapSimulation, RenewalMapUncorrelated) {
+  const Map m = renewal_map(medist::make_tpt(medist::TptSpec{3, 1.4, 0.5,
+                                                             2.0}));
+  const auto s = SimulateMap(m, 400000, 5);
+  ExpectClose(s.mean, 2.0, 0.03, "mean");
+  EXPECT_NEAR(s.lag1, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace performa::map

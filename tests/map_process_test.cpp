@@ -1,0 +1,137 @@
+#include "map/map_process.h"
+
+#include <gtest/gtest.h>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::map {
+namespace {
+
+using medist::erlang_dist;
+using medist::exponential_from_mean;
+using medist::hyperexponential_dist;
+using performa::testing::ExpectClose;
+
+TEST(Map, PoissonBasics) {
+  const Map m = poisson_map(3.0);
+  EXPECT_EQ(m.dim(), 1u);
+  EXPECT_NEAR(m.mean_rate(), 3.0, 1e-12);
+  EXPECT_NEAR(m.interarrival_scv(), 1.0, 1e-10);
+  EXPECT_NEAR(m.interarrival_correlation(1), 0.0, 1e-10);
+  EXPECT_THROW(poisson_map(0.0), InvalidArgument);
+}
+
+TEST(Map, Validation) {
+  // D1 negative entry.
+  EXPECT_THROW(Map(linalg::Matrix{{-1.0}}, linalg::Matrix{{-1.0}}),
+               InvalidArgument);
+  // Row sums of D0+D1 not zero.
+  EXPECT_THROW(Map(linalg::Matrix{{-2.0}}, linalg::Matrix{{1.0}}),
+               InvalidArgument);
+  // D0 off-diagonal negative.
+  EXPECT_THROW(Map(linalg::Matrix{{-1.0, -0.5}, {0.0, -1.0}},
+                   linalg::Matrix{{0.5, 1.0}, {1.0, 0.0}}),
+               InvalidArgument);
+  // Shape mismatch.
+  EXPECT_THROW(Map(linalg::Matrix{{-1.0}}, linalg::Matrix(2, 2, 0.5)),
+               InvalidArgument);
+}
+
+TEST(Map, ErlangRenewalProcess) {
+  const Map m = renewal_map(erlang_dist(4, 2.0));
+  EXPECT_EQ(m.dim(), 4u);
+  EXPECT_NEAR(m.mean_rate(), 0.5, 1e-10);         // one event per 2.0
+  EXPECT_NEAR(m.interarrival_scv(), 0.25, 1e-9);  // Erlang-4 SCV
+  // Renewal process: no interarrival correlation.
+  EXPECT_NEAR(m.interarrival_correlation(1), 0.0, 1e-9);
+  EXPECT_NEAR(m.interarrival_correlation(3), 0.0, 1e-9);
+}
+
+TEST(Map, HyperexponentialRenewalScv) {
+  const auto h = hyperexponential_dist(linalg::Vector{0.9, 0.1},
+                                       linalg::Vector{2.0, 0.1});
+  const Map m = renewal_map(h);
+  ExpectClose(m.interarrival_scv(), h.scv(), 1e-8, "scv");
+  EXPECT_NEAR(m.interarrival_correlation(1), 0.0, 1e-9);
+}
+
+TEST(Map, RenewalRequiresPhaseType) {
+  // A (valid) ME distribution without PH sign structure cannot be turned
+  // into a MAP by this construction. Build one with a negative off-diag
+  // rate structure: use a matrix-exponential with oscillating density.
+  // Simpler: verify the guard via a direct non-PH matrix.
+  const linalg::Vector p{1.0, 0.0};
+  const linalg::Matrix b{{2.0, 0.5}, {0.0, 1.0}};  // positive off-diagonal
+  const medist::MeDistribution me(p, b, "non-ph");
+  EXPECT_FALSE(me.is_phase_type());
+  EXPECT_THROW(renewal_map(me), InvalidArgument);
+}
+
+TEST(Map, SingleOnOffSourceIsRenewal) {
+  // An interrupted Poisson process (one ON/OFF source) is equivalent to a
+  // hyperexponential renewal process: SCV > 1 but zero correlation.
+  const ServerModel server(exponential_from_mean(90.0),
+                           exponential_from_mean(10.0), 2.0, 0.0);
+  const Map m = as_map(server.mmpp());
+  ExpectClose(m.mean_rate(), server.mean_service_rate(), 1e-10, "rate");
+  EXPECT_GT(m.interarrival_scv(), 1.0);
+  EXPECT_NEAR(m.interarrival_correlation(1), 0.0, 1e-9);
+}
+
+TEST(Map, AggregatedMmppIsCorrelated) {
+  // Two superposed ON/OFF sources are no longer renewal: positive,
+  // decaying interarrival correlation.
+  const ServerModel server(exponential_from_mean(90.0),
+                           exponential_from_mean(10.0), 2.0, 0.0);
+  const LumpedAggregate agg(server, 2);
+  const Map m = as_map(agg.mmpp());
+  ExpectClose(m.mean_rate(), agg.mmpp().mean_rate(), 1e-10, "rate");
+  EXPECT_GT(m.interarrival_scv(), 1.0);
+  EXPECT_GT(m.interarrival_correlation(1), 1e-4);
+  EXPECT_GT(m.interarrival_correlation(1), m.interarrival_correlation(5));
+}
+
+TEST(Map, SuperpositionRatesAdd) {
+  const Map a = poisson_map(1.0);
+  const Map b = renewal_map(erlang_dist(2, 0.5));
+  const Map s = superpose(a, b);
+  EXPECT_EQ(s.dim(), 2u);
+  ExpectClose(s.mean_rate(), a.mean_rate() + b.mean_rate(), 1e-9, "rate");
+}
+
+TEST(Map, SuperpositionOfPoissonIsPoisson) {
+  const Map s = superpose(poisson_map(1.0), poisson_map(2.0));
+  EXPECT_NEAR(s.mean_rate(), 3.0, 1e-12);
+  EXPECT_NEAR(s.interarrival_scv(), 1.0, 1e-9);
+  EXPECT_NEAR(s.interarrival_correlation(1), 0.0, 1e-9);
+}
+
+TEST(Map, CorrelationLagValidation) {
+  EXPECT_THROW(poisson_map(1.0).interarrival_correlation(0),
+               InvalidArgument);
+}
+
+// Property: renewal MAPs reproduce the SCV of their interarrival
+// distribution and stay uncorrelated.
+class RenewalMapProperty
+    : public ::testing::TestWithParam<medist::MeDistribution> {};
+
+TEST_P(RenewalMapProperty, ScvMatchesAndUncorrelated) {
+  const auto& dist = GetParam();
+  const Map m = renewal_map(dist);
+  ExpectClose(m.mean_rate(), 1.0 / dist.mean(), 1e-8, "rate");
+  ExpectClose(m.interarrival_scv(), dist.scv(), 1e-7, "scv");
+  EXPECT_NEAR(m.interarrival_correlation(2), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, RenewalMapProperty,
+    ::testing::Values(medist::exponential_dist(0.7), erlang_dist(3, 1.5),
+                      hyperexponential_dist(linalg::Vector{0.3, 0.7},
+                                            linalg::Vector{0.5, 5.0}),
+                      medist::make_tpt(medist::TptSpec{5, 1.4, 0.2, 2.0})));
+
+}  // namespace
+}  // namespace performa::map

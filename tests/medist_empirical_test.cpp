@@ -1,0 +1,116 @@
+#include "medist/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "medist/sampler.h"
+#include "test_util.h"
+
+namespace performa::medist {
+namespace {
+
+using performa::testing::ExpectClose;
+
+std::vector<double> Draw(const MeDistribution& dist, std::size_t n,
+                         unsigned seed) {
+  const PhaseSampler sampler(dist);
+  std::mt19937_64 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = sampler.sample(rng);
+  return out;
+}
+
+TEST(SampleMoments, HandComputed) {
+  const auto m = sample_moments({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_NEAR(m.m1, 2.0, 1e-14);
+  EXPECT_NEAR(m.m2, 14.0 / 3.0, 1e-14);
+  EXPECT_NEAR(m.m3, 36.0 / 3.0, 1e-14);
+  EXPECT_NEAR(m.variance(), 2.0 / 3.0, 1e-13);
+}
+
+TEST(SampleMoments, Validation) {
+  EXPECT_THROW(sample_moments({}), InvalidArgument);
+  EXPECT_THROW(sample_moments({1.0, -2.0}), InvalidArgument);
+  EXPECT_THROW(sample_moments({1.0, 0.0}), InvalidArgument);
+}
+
+TEST(FitHyp2Samples, RecoversGeneratingDistribution) {
+  const double p1 = 0.85, r1 = 2.0, r2 = 0.05;
+  const auto source = hyperexponential_dist(Vector{p1, 1.0 - p1},
+                                            Vector{r1, r2});
+  const auto samples = Draw(source, 400000, 11);
+  const Hyp2Fit fit = fit_hyp2_samples(samples);
+  EXPECT_NEAR(fit.p1, p1, 0.05);
+  EXPECT_NEAR(fit.rate1, r1, 0.25);
+  EXPECT_NEAR(fit.rate2, r2, 0.01);
+  // Fitted distribution matches the sample mean closely.
+  const auto m = sample_moments(samples);
+  ExpectClose(fit.to_distribution().mean(), m.m1, 1e-9, "mean");
+}
+
+TEST(FitHyp2Samples, UnderdispersedSamplesRejected) {
+  // Deterministic-ish sample: SCV ~ 0.
+  std::vector<double> samples(1000, 1.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] += 1e-3 * static_cast<double>(i % 7);
+  }
+  EXPECT_THROW(fit_hyp2_samples(samples), NumericalError);
+}
+
+TEST(Hill, RecoversParetoExponent) {
+  // Pure Pareto(alpha = 1.4): Hill is consistent.
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<double> samples(200000);
+  for (double& x : samples) x = std::pow(1.0 - uni(rng), -1.0 / 1.4);
+  const double alpha = hill_tail_exponent(samples, 2000);
+  EXPECT_NEAR(alpha, 1.4, 0.1);
+}
+
+TEST(Hill, ExponentialSamplesGiveLargeExponent) {
+  // Light tails: the Hill estimate grows with the threshold -- far above
+  // any heavy-tail range for a modest k.
+  const auto samples = Draw(exponential_dist(1.0), 100000, 3);
+  EXPECT_GT(hill_tail_exponent(samples, 500), 3.0);
+}
+
+TEST(Hill, Validation) {
+  std::vector<double> samples{1.0, 2.0, 3.0};
+  EXPECT_THROW(hill_tail_exponent(samples, 1), InvalidArgument);
+  EXPECT_THROW(hill_tail_exponent(samples, 3), InvalidArgument);
+  EXPECT_THROW(hill_tail_exponent(std::vector<double>(100, 2.5), 10),
+               NumericalError);  // all ties: degenerate
+}
+
+TEST(FitTpt, PipelineRecoversAlphaAndMean) {
+  // Generate from a TPT with a long power-law stretch; refit.
+  const TptSpec truth{12, 1.4, 0.2, 10.0};
+  const auto samples = Draw(make_tpt(truth), 400000, 17);
+  const TptSpec fitted = fit_tpt_from_samples(samples, 12, 0.2, 1500);
+  ExpectClose(fitted.mean, 10.0, 0.05, "mean");
+  EXPECT_NEAR(fitted.alpha, 1.4, 0.35);  // Hill on a *truncated* tail
+  // The refitted model must be usable downstream.
+  EXPECT_NO_THROW(make_tpt(fitted));
+}
+
+// Property: sample moments converge to distribution moments.
+class MomentConvergence : public ::testing::TestWithParam<MeDistribution> {};
+
+TEST_P(MomentConvergence, FirstTwoMoments) {
+  const auto& dist = GetParam();
+  const auto samples = Draw(dist, 300000, 23);
+  const auto m = sample_moments(samples);
+  ExpectClose(m.m1, dist.moment(1), 0.03, "m1");
+  ExpectClose(m.m2, dist.moment(2), 0.15, "m2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, MomentConvergence,
+    ::testing::Values(exponential_dist(0.5), erlang_dist(4, 3.0),
+                      hyperexponential_dist(Vector{0.6, 0.4},
+                                            Vector{3.0, 0.3})));
+
+}  // namespace
+}  // namespace performa::medist

@@ -1,0 +1,115 @@
+#include "medist/moment_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::medist {
+namespace {
+
+using performa::testing::ExpectClose;
+
+TEST(Hyp2Fit, RecoversKnownHyperexponential) {
+  // Start from a known HYP-2, fit to its moments, compare parameters.
+  const double p1 = 0.3, r1 = 4.0, r2 = 0.25;
+  const MeDistribution source =
+      hyperexponential_dist(Vector{p1, 1.0 - p1}, Vector{r1, r2});
+  const Hyp2Fit fit = fit_hyp2(source);
+  EXPECT_NEAR(fit.p1, p1, 1e-9);
+  EXPECT_NEAR(fit.rate1, r1, 1e-8);
+  EXPECT_NEAR(fit.rate2, r2, 1e-10);
+}
+
+TEST(Hyp2Fit, MatchesFirstThreeMomentsOfTpt) {
+  // The paper's Fig. 4 construction: HYP-2 matched to the TPT moments.
+  for (unsigned t : {2u, 5u, 9u, 10u}) {
+    const MeDistribution tpt = make_tpt(TptSpec{t, 1.4, 0.2, 10.0});
+    const Hyp2Fit fit = fit_hyp2(tpt);
+    const MeDistribution hyp2 = fit.to_distribution();
+    for (unsigned k = 1; k <= 3; ++k) {
+      ExpectClose(hyp2.moment(k), tpt.moment(k), 1e-8,
+                  ("moment " + std::to_string(k)).c_str());
+    }
+  }
+}
+
+TEST(Hyp2Fit, ExponentialBorderlineCollapses) {
+  // Exact exponential moments: m_k = k!/rate^k, SCV = 1.
+  const double rate = 0.5;
+  const Hyp2Fit fit =
+      fit_hyp2_moments(1.0 / rate, 2.0 / (rate * rate),
+                       6.0 / (rate * rate * rate));
+  EXPECT_EQ(fit.p1, 1.0);
+  EXPECT_NEAR(fit.rate1, rate, 1e-12);
+  EXPECT_NEAR(fit.to_distribution().mean(), 2.0, 1e-12);
+}
+
+TEST(Hyp2Fit, RejectsLowVariance) {
+  // Erlang-4 has SCV = 1/4 < 1: infeasible for a hyperexponential.
+  const MeDistribution erl = erlang_dist(4, 1.0);
+  EXPECT_THROW(fit_hyp2(erl), NumericalError);
+}
+
+TEST(Hyp2Fit, RejectsNonPositiveMoments) {
+  EXPECT_THROW(fit_hyp2_moments(-1.0, 2.0, 6.0), InvalidArgument);
+  EXPECT_THROW(fit_hyp2_moments(1.0, 0.0, 6.0), InvalidArgument);
+}
+
+TEST(Hyp2Fit, RejectsInconsistentThirdMoment) {
+  // SCV > 1 but third moment far too small for any HYP-2.
+  EXPECT_THROW(fit_hyp2_moments(1.0, 3.0, 1.0), NumericalError);
+}
+
+TEST(Hyp2Fit, FittedDistributionIsValidPhaseType) {
+  const MeDistribution tpt = make_tpt(TptSpec{10, 1.4, 0.2, 10.0});
+  const MeDistribution hyp2 = fit_hyp2(tpt).to_distribution();
+  EXPECT_TRUE(hyp2.is_phase_type());
+  EXPECT_EQ(hyp2.dim(), 2u);
+  EXPECT_GT(hyp2.scv(), 1.0);
+}
+
+TEST(HyperexpFromMeanScv, RealizesTargetMoments) {
+  for (double scv : {1.5, 2.0, 5.3, 20.0}) {
+    const MeDistribution d = hyperexp_from_mean_scv(2.0, scv);
+    EXPECT_NEAR(d.mean(), 2.0, 1e-10) << scv;
+    EXPECT_NEAR(d.scv(), scv, 1e-8) << scv;
+  }
+}
+
+TEST(HyperexpFromMeanScv, BorderlineAndValidation) {
+  const MeDistribution d = hyperexp_from_mean_scv(3.0, 1.0);
+  EXPECT_EQ(d.dim(), 1u);  // exponential
+  EXPECT_NEAR(d.mean(), 3.0, 1e-12);
+  EXPECT_THROW(hyperexp_from_mean_scv(1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(hyperexp_from_mean_scv(-1.0, 2.0), InvalidArgument);
+}
+
+// Property: round-trip moment preservation across a parameter sweep of
+// source HYP-2 distributions.
+struct FitCase {
+  double p1;
+  double r1;
+  double r2;
+};
+
+class Hyp2FitProperty : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(Hyp2FitProperty, RoundTripMoments) {
+  const auto [p1, r1, r2] = GetParam();
+  const MeDistribution src =
+      hyperexponential_dist(Vector{p1, 1.0 - p1}, Vector{r1, r2});
+  const MeDistribution fitted = fit_hyp2(src).to_distribution();
+  for (unsigned k = 1; k <= 3; ++k) {
+    ExpectClose(fitted.moment(k), src.moment(k), 1e-7, "moment");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Hyp2FitProperty,
+    ::testing::Values(FitCase{0.1, 1.0, 0.01}, FitCase{0.5, 2.0, 0.2},
+                      FitCase{0.9, 10.0, 0.5}, FitCase{0.99, 100.0, 1.0},
+                      FitCase{0.25, 0.8, 0.05}, FitCase{0.6, 5.0, 0.02}));
+
+}  // namespace
+}  // namespace performa::medist

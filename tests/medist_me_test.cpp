@@ -1,0 +1,173 @@
+#include "medist/me_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace performa::medist {
+namespace {
+
+using performa::testing::ExpectClose;
+
+TEST(Exponential, MomentsClosedForm) {
+  const MeDistribution d = exponential_dist(2.0);
+  EXPECT_NEAR(d.mean(), 0.5, 1e-14);
+  EXPECT_NEAR(d.moment(2), 2.0 * 0.25, 1e-14);  // E[X^2] = 2/rate^2
+  EXPECT_NEAR(d.moment(3), 6.0 * 0.125, 1e-14);
+  EXPECT_NEAR(d.variance(), 0.25, 1e-14);
+  EXPECT_NEAR(d.scv(), 1.0, 1e-12);
+}
+
+TEST(Exponential, CdfAndDensity) {
+  const MeDistribution d = exponential_dist(0.5);
+  for (double t : {0.0, 0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(d.reliability(t), std::exp(-0.5 * t), 1e-12) << t;
+    EXPECT_NEAR(d.density(t), 0.5 * std::exp(-0.5 * t), 1e-12) << t;
+  }
+  EXPECT_THROW(d.reliability(-1.0), InvalidArgument);
+}
+
+TEST(Exponential, FromMean) {
+  EXPECT_NEAR(exponential_from_mean(4.0).mean(), 4.0, 1e-13);
+  EXPECT_THROW(exponential_from_mean(0.0), InvalidArgument);
+  EXPECT_THROW(exponential_dist(-1.0), InvalidArgument);
+}
+
+TEST(Erlang, MomentsClosedForm) {
+  // Erlang-k, mean m: variance m^2/k, SCV 1/k.
+  const MeDistribution d = erlang_dist(4, 2.0);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-13);
+  EXPECT_NEAR(d.variance(), 4.0 / 4.0, 1e-12);
+  EXPECT_NEAR(d.scv(), 0.25, 1e-12);
+}
+
+TEST(Erlang, ReliabilityClosedForm) {
+  // Erlang-2 with rate r per stage: R(t) = e^{-rt}(1 + rt).
+  const MeDistribution d = erlang_dist(2, 1.0);  // stage rate 2
+  const double r = 2.0;
+  for (double t : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(d.reliability(t), std::exp(-r * t) * (1.0 + r * t), 1e-11)
+        << t;
+  }
+}
+
+TEST(Erlang, DegenerateIsExponential) {
+  const MeDistribution d = erlang_dist(1, 3.0);
+  EXPECT_NEAR(d.scv(), 1.0, 1e-12);
+}
+
+TEST(Hyperexponential, MomentsClosedForm) {
+  const Vector probs{0.4, 0.6};
+  const Vector rates{1.0, 5.0};
+  const MeDistribution d = hyperexponential_dist(probs, rates);
+  const double m1 = 0.4 / 1.0 + 0.6 / 5.0;
+  const double m2 = 2.0 * (0.4 / 1.0 + 0.6 / 25.0);
+  EXPECT_NEAR(d.mean(), m1, 1e-13);
+  EXPECT_NEAR(d.moment(2), m2, 1e-13);
+  EXPECT_GT(d.scv(), 1.0);  // hyperexponentials are over-dispersed
+}
+
+TEST(Hyperexponential, ReliabilityIsMixture) {
+  const MeDistribution d =
+      hyperexponential_dist(Vector{0.3, 0.7}, Vector{0.1, 2.0});
+  for (double t : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(d.reliability(t),
+                0.3 * std::exp(-0.1 * t) + 0.7 * std::exp(-2.0 * t), 1e-11)
+        << t;
+  }
+}
+
+TEST(Hyperexponential, Validation) {
+  EXPECT_THROW(hyperexponential_dist(Vector{0.5, 0.4}, Vector{1.0, 2.0}),
+               InvalidArgument);  // probs don't sum to 1
+  EXPECT_THROW(hyperexponential_dist(Vector{0.5, 0.5}, Vector{1.0, -2.0}),
+               InvalidArgument);  // negative rate
+  EXPECT_THROW(hyperexponential_dist(Vector{1.0}, Vector{1.0, 2.0}),
+               InvalidArgument);  // length mismatch
+}
+
+TEST(MeDistribution, ConstructionValidation) {
+  EXPECT_THROW(MeDistribution(Vector{}, Matrix{{1.0}}), InvalidArgument);
+  EXPECT_THROW(MeDistribution(Vector{1.0}, Matrix(2, 2, 1.0)),
+               InvalidArgument);
+  EXPECT_THROW(MeDistribution(Vector{0.5, 0.6}, Matrix::identity(2)),
+               InvalidArgument);
+  EXPECT_THROW(MeDistribution(Vector{-0.5, 1.5}, Matrix::identity(2)),
+               InvalidArgument);
+}
+
+TEST(MeDistribution, ScaledToMean) {
+  const MeDistribution d =
+      hyperexponential_dist(Vector{0.2, 0.8}, Vector{0.5, 4.0});
+  const MeDistribution s = d.scaled_to_mean(10.0);
+  EXPECT_NEAR(s.mean(), 10.0, 1e-11);
+  // Scaling preserves the SCV (shape).
+  ExpectClose(s.scv(), d.scv(), 1e-10, "scv");
+  EXPECT_THROW(d.scaled_to_mean(-2.0), InvalidArgument);
+}
+
+TEST(MeDistribution, PhaseTypeDetection) {
+  EXPECT_TRUE(exponential_dist(1.0).is_phase_type());
+  EXPECT_TRUE(erlang_dist(3, 1.0).is_phase_type());
+  EXPECT_TRUE(
+      hyperexponential_dist(Vector{0.5, 0.5}, Vector{1.0, 2.0}).is_phase_type());
+}
+
+TEST(MeDistribution, ExitRatesOfErlang) {
+  // Only the last Erlang stage exits.
+  const MeDistribution d = erlang_dist(3, 1.0);
+  const Vector exits = d.exit_rates();
+  EXPECT_NEAR(exits[0], 0.0, 1e-14);
+  EXPECT_NEAR(exits[1], 0.0, 1e-14);
+  EXPECT_NEAR(exits[2], 3.0, 1e-14);
+}
+
+TEST(MeDistribution, MomentZeroRejected) {
+  const MeDistribution d = exponential_dist(1.0);
+  EXPECT_THROW(d.moment(0), InvalidArgument);
+}
+
+TEST(MeDistribution, DensityIntegratesToCdf) {
+  // Midpoint-rule integral of the density matches the CDF increment.
+  const MeDistribution d = erlang_dist(2, 1.0);
+  const double a = 0.5, b = 1.5;
+  const int steps = 2000;
+  double integral = 0.0;
+  const double h = (b - a) / steps;
+  for (int i = 0; i < steps; ++i) {
+    integral += d.density(a + (i + 0.5) * h) * h;
+  }
+  EXPECT_NEAR(integral, d.cdf(b) - d.cdf(a), 1e-6);
+}
+
+// Property sweep: cross-check moments against numerical integration of the
+// reliability function: E[X^k] = k int_0^inf t^{k-1} R(t) dt.
+class MomentIntegralProperty
+    : public ::testing::TestWithParam<MeDistribution> {};
+
+TEST_P(MomentIntegralProperty, FirstTwoMomentsMatchIntegral) {
+  const MeDistribution& d = GetParam();
+  const double horizon = 60.0 * d.mean();
+  const int steps = 60000;
+  const double h = horizon / steps;
+  double m1 = 0.0, m2 = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t = (i + 0.5) * h;
+    const double r = d.reliability(t);
+    m1 += r * h;
+    m2 += 2.0 * t * r * h;
+  }
+  ExpectClose(m1, d.mean(), 5e-3, "mean");
+  ExpectClose(m2, d.moment(2), 5e-3, "second moment");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, MomentIntegralProperty,
+    ::testing::Values(exponential_dist(1.0), erlang_dist(3, 2.0),
+                      hyperexponential_dist(Vector{0.9, 0.1},
+                                            Vector{2.0, 0.25})));
+
+}  // namespace
+}  // namespace performa::medist

@@ -1,0 +1,119 @@
+#include "medist/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "medist/moment_fit.h"
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::medist {
+namespace {
+
+using performa::testing::ExpectClose;
+
+struct SampleStats {
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+};
+
+SampleStats Collect(const MeDistribution& d, std::size_t n, unsigned seed) {
+  const PhaseSampler sampler(d);
+  std::mt19937_64 rng(seed);
+  double acc = 0.0, acc2 = 0.0, mn = 1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = sampler.sample(rng);
+    acc += x;
+    acc2 += x * x;
+    mn = std::min(mn, x);
+  }
+  return {acc / n, acc2 / n, mn};
+}
+
+TEST(PhaseSampler, ExponentialMomentsMatch) {
+  const MeDistribution d = exponential_dist(2.0);
+  const SampleStats s = Collect(d, 200000, 42);
+  ExpectClose(s.mean, d.mean(), 0.01, "mean");
+  ExpectClose(s.m2, d.moment(2), 0.03, "second moment");
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(PhaseSampler, ErlangMomentsMatch) {
+  const MeDistribution d = erlang_dist(3, 4.0);
+  const SampleStats s = Collect(d, 200000, 7);
+  ExpectClose(s.mean, 4.0, 0.01, "mean");
+  ExpectClose(s.m2, d.moment(2), 0.03, "second moment");
+}
+
+TEST(PhaseSampler, HyperexponentialMomentsMatch) {
+  const MeDistribution d =
+      hyperexponential_dist(Vector{0.8, 0.2}, Vector{4.0, 0.1});
+  const SampleStats s = Collect(d, 400000, 11);
+  ExpectClose(s.mean, d.mean(), 0.02, "mean");
+  ExpectClose(s.m2, d.moment(2), 0.05, "second moment");
+}
+
+TEST(PhaseSampler, TptMeanMatches) {
+  // High variance: the mean still converges at this sample size; the
+  // second moment would need far more samples, so only check the mean.
+  const MeDistribution d = make_tpt(TptSpec{9, 1.4, 0.2, 10.0});
+  const SampleStats s = Collect(d, 500000, 3);
+  ExpectClose(s.mean, 10.0, 0.05, "mean");
+}
+
+TEST(PhaseSampler, TailFrequencyMatchesReliability) {
+  const MeDistribution d = make_tpt(TptSpec{5, 1.4, 0.2, 1.0});
+  const PhaseSampler sampler(d);
+  std::mt19937_64 rng(99);
+  const double threshold = 5.0;
+  const std::size_t n = 300000;
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sampler.sample(rng) > threshold) ++above;
+  }
+  const double expected = d.reliability(threshold);
+  ExpectClose(static_cast<double>(above) / n, expected, 0.05 * expected + 1e-3,
+              "tail frequency");
+}
+
+TEST(PhaseSampler, DeterministicGivenSeed) {
+  const MeDistribution d = erlang_dist(2, 1.0);
+  const PhaseSampler sampler(d);
+  std::mt19937_64 rng1(5), rng2(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng1), sampler.sample(rng2));
+  }
+}
+
+TEST(PhaseSampler, SamplesAreNonNegative) {
+  const MeDistribution d = make_tpt(TptSpec{10, 1.4, 0.2, 10.0});
+  const PhaseSampler sampler(d);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sampler.sample(rng), 0.0);
+  }
+}
+
+// Property: sampled mean matches analytic mean across distributions.
+class SamplerProperty : public ::testing::TestWithParam<MeDistribution> {};
+
+TEST_P(SamplerProperty, MeanConverges) {
+  const MeDistribution& d = GetParam();
+  const SampleStats s = Collect(d, 300000, 123);
+  ExpectClose(s.mean, d.mean(), 0.05, "mean");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, SamplerProperty,
+    ::testing::Values(exponential_dist(0.1), exponential_dist(10.0),
+                      erlang_dist(5, 2.0),
+                      hyperexponential_dist(Vector{0.5, 0.5},
+                                            Vector{1.0, 3.0}),
+                      make_tpt(TptSpec{5, 1.4, 0.5, 10.0}),
+                      fit_hyp2(make_tpt(TptSpec{10, 1.4, 0.2, 10.0}))
+                          .to_distribution()));
+
+}  // namespace
+}  // namespace performa::medist

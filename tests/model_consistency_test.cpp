@@ -1,0 +1,156 @@
+// Cross-cutting consistency sweep: for a grid of cluster configurations,
+// every layer of the stack must agree with every other. These invariants
+// are the contract a downstream user relies on; each one failed at least
+// conceptually during development of some queueing library somewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cluster_model.h"
+#include "core/mm1.h"
+#include "medist/tpt.h"
+#include "qbd/finite.h"
+#include "test_util.h"
+
+namespace performa {
+namespace {
+
+using performa::testing::ExpectClose;
+
+struct GridCase {
+  unsigned n_servers;
+  unsigned t_phases;
+  double delta;
+  double rho;
+};
+
+std::ostream& operator<<(std::ostream& os, const GridCase& c) {
+  return os << "N=" << c.n_servers << " T=" << c.t_phases
+            << " delta=" << c.delta << " rho=" << c.rho;
+}
+
+class ModelConsistency : public ::testing::TestWithParam<GridCase> {
+ protected:
+  core::ClusterModel MakeModel() const {
+    const auto& c = GetParam();
+    core::ClusterParams p;
+    p.n_servers = c.n_servers;
+    p.delta = c.delta;
+    p.down = medist::make_tpt(medist::TptSpec{c.t_phases, 1.4, 0.2, 10.0});
+    return core::ClusterModel(std::move(p));
+  }
+};
+
+TEST_P(ModelConsistency, StationarySolutionInvariants) {
+  const auto model = MakeModel();
+  const double rho = GetParam().rho;
+  const auto sol = model.solve(model.lambda_for_rho(rho));
+
+  // Probabilities in range and normalized.
+  EXPECT_GT(sol.probability_empty(), 0.0);
+  EXPECT_LT(sol.probability_empty(), 1.0);
+  const auto pmf = sol.pmf_upto(300);
+  double mass = 0.0;
+  for (double x : pmf) {
+    EXPECT_GE(x, -1e-12);
+    mass += x;
+  }
+  ExpectClose(mass + sol.tail(301), 1.0, 1e-8, "normalization");
+
+  // Tails monotone nonincreasing.
+  double prev = 1.0;
+  for (std::size_t k : {1u, 2u, 5u, 20u, 100u, 400u}) {
+    const double t = sol.tail(k);
+    EXPECT_LE(t, prev + 1e-12) << k;
+    prev = t;
+  }
+
+  // Phase marginal equals the modulating-process stationary vector.
+  const auto marginal = sol.phase_marginal();
+  const auto pi = model.aggregate().mmpp().stationary_phases();
+  EXPECT_LT(linalg::max_abs_diff(marginal, pi), 1e-8);
+
+  // Mean from the pmf (single iterative sweep; adapt the horizon to the
+  // decay rate so the truncated mass stays negligible).
+  const double sp = sol.decay_rate();
+  const std::size_t k_max =
+      sp > 0.999 ? 400000 : (sp > 0.99 ? 40000 : 4000);
+  const auto full_pmf = sol.pmf_upto(k_max);
+  double mean = 0.0;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    mean += static_cast<double>(k) * full_pmf[k];
+  }
+  if (sol.tail(k_max) < 1e-10) {
+    ExpectClose(mean, sol.mean_queue_length(), 1e-4, "pmf mean");
+  }
+
+  // Never better than M/M/1 at the same utilization.
+  EXPECT_GT(sol.mean_queue_length(),
+            core::mm1::mean_queue_length(rho) * 0.95);
+
+  // Decay rate strictly inside (0, 1).
+  EXPECT_GT(sp, 0.0);
+  EXPECT_LT(sp, 1.0 + 1e-9);
+}
+
+TEST_P(ModelConsistency, LoadDependentDominatesLoadIndependent) {
+  const auto model = MakeModel();
+  const double rho = GetParam().rho;
+  const double lambda = model.lambda_for_rho(rho);
+  const double li = model.solve(lambda).mean_queue_length();
+  const double ld = model.solve_load_dependent(lambda).mean_queue_length();
+  EXPECT_GE(ld, li - 1e-9);
+  // And the gap is bounded by roughly the N tasks the boundary affects.
+  EXPECT_LT(ld - li, static_cast<double>(GetParam().n_servers) + 1.0);
+}
+
+TEST_P(ModelConsistency, FiniteBufferConvergesFromBelow) {
+  const auto model = MakeModel();
+  const double rho = GetParam().rho;
+  if (rho > 0.65 && GetParam().t_phases >= 9) {
+    GTEST_SKIP() << "blow-up regime needs enormous buffers to converge";
+  }
+  if (model.aggregate().state_count() > 30) {
+    GTEST_SKIP() << "large phase space: covered by qbd_finite_test";
+  }
+  const auto blocks =
+      qbd::m_mmpp_1(model.aggregate().mmpp(), model.lambda_for_rho(rho));
+  const double infinite = qbd::QbdSolution(blocks).mean_queue_length();
+  double prev = 0.0;
+  for (std::size_t cap : {50u, 200u, 800u}) {
+    const double finite =
+        qbd::FiniteQbdSolution(blocks, cap).mean_queue_length();
+    EXPECT_GE(finite, prev - 1e-9) << cap;       // monotone in K
+    EXPECT_LE(finite, infinite + 1e-6) << cap;   // from below
+    prev = finite;
+  }
+  ExpectClose(prev, infinite, 0.05, "K=800 vs infinite");
+}
+
+TEST_P(ModelConsistency, BlowupRegionPredictsTailBehaviour) {
+  const auto model = MakeModel();
+  const auto& c = GetParam();
+  const unsigned region = core::blowup_region(model.blowup_params(), c.rho);
+  const auto sol = model.solve(model.lambda_for_rho(c.rho));
+  if (region == 0 && c.rho < 0.5) {
+    // Insensitive region: tail decays geometrically fast; Pr(Q>=400)
+    // should be astronomically small.
+    EXPECT_LT(sol.tail(400), 1e-12);
+  }
+  if (region == 1 && c.t_phases >= 9 && c.rho > 0.65) {
+    // Deep blow-up: heavy tail clearly visible.
+    EXPECT_GT(sol.tail(400), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelConsistency,
+    ::testing::Values(GridCase{1, 2, 0.2, 0.5}, GridCase{2, 1, 0.2, 0.3},
+                      GridCase{2, 2, 0.0, 0.5}, GridCase{2, 5, 0.2, 0.1},
+                      GridCase{2, 5, 0.2, 0.7}, GridCase{2, 9, 0.2, 0.4},
+                      GridCase{2, 9, 0.2, 0.7}, GridCase{2, 10, 0.2, 0.85},
+                      GridCase{3, 2, 0.2, 0.6}, GridCase{3, 5, 0.0, 0.4},
+                      GridCase{4, 2, 0.5, 0.7}, GridCase{5, 2, 0.2, 0.5}));
+
+}  // namespace
+}  // namespace performa

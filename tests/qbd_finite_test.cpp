@@ -1,0 +1,146 @@
+// Finite-buffer ME/MMPP/1/K queue (paper Sec. 2.4, second bullet).
+#include "qbd/finite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::erlang_dist;
+using medist::exponential_from_mean;
+using performa::testing::ExpectClose;
+
+map::Mmpp SinglePhase(double mu) {
+  return map::Mmpp(Matrix{{0.0}}, Vector{mu});
+}
+
+map::Mmpp PaperClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+TEST(FiniteQbd, Mm1KClosedForm) {
+  // M/M/1/K: pi_n = (1-rho) rho^n / (1 - rho^{K+1}).
+  const double rho = 0.8;
+  const std::size_t k_cap = 10;
+  const FiniteQbdSolution sol(m_mmpp_1(SinglePhase(1.0), rho), k_cap);
+  const double norm = (1.0 - std::pow(rho, k_cap + 1.0));
+  for (std::size_t n = 0; n <= k_cap; ++n) {
+    ExpectClose(sol.pmf(n), (1.0 - rho) * std::pow(rho, n) / norm, 1e-9,
+                "pmf");
+  }
+  ExpectClose(sol.blocking_probability(), sol.probability_full(), 1e-10,
+              "PASTA");
+  EXPECT_EQ(sol.pmf(k_cap + 3), 0.0);
+}
+
+TEST(FiniteQbd, Mm1KOverloadedStillSolves) {
+  // Finite queues are stable even at rho > 1; M/M/1/K formulas hold.
+  const double rho = 1.5;
+  const std::size_t k_cap = 5;
+  const FiniteQbdSolution sol(m_mmpp_1(SinglePhase(1.0), rho), k_cap);
+  const double norm = (1.0 - std::pow(rho, k_cap + 1.0));
+  ExpectClose(sol.probability_full(),
+              (1.0 - rho) * std::pow(rho, k_cap) / norm, 1e-9, "P(full)");
+  EXPECT_GT(sol.blocking_probability(), 0.3);
+}
+
+TEST(FiniteQbd, ConvergesToInfiniteBufferSolution) {
+  const auto mmpp = PaperClusterMmpp(3);
+  const double lambda = 0.5 * mmpp.mean_rate();
+  const auto blocks = m_mmpp_1(mmpp, lambda);
+  const QbdSolution infinite(blocks);
+  const FiniteQbdSolution finite(blocks, 3000);
+  ExpectClose(finite.mean_queue_length(), infinite.mean_queue_length(), 1e-4,
+              "E[Q]");
+  ExpectClose(finite.probability_empty(), infinite.probability_empty(), 1e-6,
+              "P(empty)");
+  EXPECT_LT(finite.blocking_probability(), 1e-4);
+}
+
+TEST(FiniteQbd, QualitativeBlowupSurvivesLargeBuffers) {
+  // Paper Sec. 2.4: "for large buffer sizes qualitative results are
+  // expected to be unchanged" -- the finite-buffer mean still jumps
+  // across the blow-up boundary.
+  const auto mmpp = PaperClusterMmpp(9);
+  const std::size_t k_cap = 2000;
+  auto normalized_mean_at = [&](double rho) {
+    return FiniteQbdSolution(m_mmpp_1(mmpp, rho * mmpp.mean_rate()), k_cap)
+               .mean_queue_length() /
+           (rho / (1.0 - rho));
+  };
+  EXPECT_GT(normalized_mean_at(0.7), 5.0 * normalized_mean_at(0.3));
+}
+
+TEST(FiniteQbd, BlockingGrowsWithLoadAndShrinksWithBuffer) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const auto at = [&](double rho, std::size_t cap) {
+    return FiniteQbdSolution(m_mmpp_1(mmpp, rho * mmpp.mean_rate()), cap)
+        .blocking_probability();
+  };
+  EXPECT_LT(at(0.3, 50), at(0.7, 50));
+  EXPECT_LT(at(0.7, 200), at(0.7, 50));
+}
+
+TEST(FiniteQbd, PmfNormalized) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const FiniteQbdSolution sol(m_mmpp_1(mmpp, 2.0), 100);
+  double total = 0.0;
+  for (std::size_t k = 0; k <= 100; ++k) total += sol.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_NEAR(sol.tail(0), 1.0, 1e-10);
+  ExpectClose(sol.tail(50) + sol.pmf(49) + sol.pmf(48),
+              sol.tail(48), 1e-10, "tail recursion");
+}
+
+TEST(FiniteQbd, NonPoissonArrivalsBreakPasta) {
+  // With Erlang-2 arrivals the arriving-customer blocking probability
+  // differs from the time-stationary P(full).
+  const auto mmpp = PaperClusterMmpp(1);
+  const auto arr =
+      map::renewal_map(erlang_dist(2, 1.0 / (0.9 * mmpp.mean_rate())));
+  const FiniteQbdSolution sol(map_mmpp_1(arr, mmpp), 10);
+  EXPECT_GT(std::abs(sol.blocking_probability() - sol.probability_full()),
+            1e-4);
+}
+
+TEST(FiniteQbd, CapacityValidation) {
+  const auto blocks = m_mmpp_1(SinglePhase(1.0), 0.5);
+  EXPECT_THROW(FiniteQbdSolution(blocks, 0), InvalidArgument);
+  const FiniteQbdSolution sol(blocks, 1);
+  // M/M/1/1: pi_0 = 1/(1+rho), pi_1 = rho/(1+rho).
+  ExpectClose(sol.pmf(0), 1.0 / 1.5, 1e-10, "pi0");
+  ExpectClose(sol.pmf(1), 0.5 / 1.5, 1e-10, "pi1");
+  EXPECT_THROW(sol.level(2), InvalidArgument);
+}
+
+// Property: Erlang-B / birth-death cross-check across capacities.
+class FiniteSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FiniteSweep, Mm1KFormulaHolds) {
+  const std::size_t cap = GetParam();
+  const double rho = 0.9;
+  const FiniteQbdSolution sol(m_mmpp_1(SinglePhase(2.0), 2.0 * rho), cap);
+  const double norm = 1.0 - std::pow(rho, cap + 1.0);
+  double expected_mean = 0.0;
+  for (std::size_t n = 1; n <= cap; ++n) {
+    expected_mean += n * (1.0 - rho) * std::pow(rho, n) / norm;
+  }
+  ExpectClose(sol.mean_queue_length(), expected_mean, 1e-8, "E[Q]");
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, FiniteSweep,
+                         ::testing::Values(1, 2, 5, 20, 100, 500));
+
+}  // namespace
+}  // namespace performa::qbd

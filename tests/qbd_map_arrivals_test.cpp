@@ -1,0 +1,145 @@
+// ME/MMPP/1 and GI/M/1: QBDs with MAP arrivals (paper Sec. 2.4 extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mm1.h"
+#include "map/lumped_aggregate.h"
+#include "medist/moment_fit.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::erlang_dist;
+using medist::exponential_from_mean;
+using medist::hyperexponential_dist;
+using performa::testing::ExpectClose;
+
+map::Mmpp PaperClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+TEST(MapArrivals, PoissonMapReducesToMMmpp1) {
+  const auto mmpp = PaperClusterMmpp(3);
+  const double lambda = 0.6 * mmpp.mean_rate();
+  const QbdSolution plain(m_mmpp_1(mmpp, lambda));
+  const QbdSolution via_map(map_mmpp_1(map::poisson_map(lambda), mmpp));
+  ExpectClose(via_map.mean_queue_length(), plain.mean_queue_length(), 1e-8,
+              "E[Q]");
+  ExpectClose(via_map.probability_empty(), plain.probability_empty(), 1e-8,
+              "P(empty)");
+  ExpectClose(via_map.tail(50), plain.tail(50), 1e-7, "tail(50)");
+}
+
+TEST(MapArrivals, MapM1MatchesGiM1ClosedForm) {
+  // GI/M/1: time-stationary P(N=n) = rho (1-sigma) sigma^{n-1} (n >= 1),
+  // with sigma the root of sigma = A*(mu(1-sigma)); E[N] = rho/(1-sigma).
+  const double mu = 1.0;
+  const auto interarrival = erlang_dist(2, 2.0);  // rate 0.5, SCV 0.5
+  const double rho = 0.5;
+
+  // LST of Erlang-2 with stage rate 2/mean = 1: (1/(1+s))^2.
+  auto lst = [](double s) { return std::pow(1.0 / (1.0 + s), 2.0); };
+  double sigma = 0.5;
+  for (int i = 0; i < 200; ++i) sigma = lst(mu * (1.0 - sigma));
+
+  const QbdSolution sol(map_m_1(map::renewal_map(interarrival), mu));
+  ExpectClose(sol.mean_queue_length(), rho / (1.0 - sigma), 1e-6, "E[N]");
+  ExpectClose(sol.probability_empty(), 1.0 - rho, 1e-8, "P(empty)");
+  // Geometric tail with ratio sigma.
+  ExpectClose(sol.pmf(6) / sol.pmf(5), sigma, 1e-6, "decay");
+}
+
+TEST(MapArrivals, SmootherArrivalsShortenTheQueue) {
+  // At identical arrival rate, Erlang-4 (SCV 0.25) < Poisson (SCV 1)
+  // < HYP-2 (SCV 8) in mean queue length.
+  const auto mmpp = PaperClusterMmpp(2);
+  const double lambda = 0.6 * mmpp.mean_rate();
+
+  const auto erl = map::renewal_map(erlang_dist(4, 1.0 / lambda));
+  const auto poi = map::poisson_map(lambda);
+  const auto hyp = map::renewal_map(
+      medist::hyperexp_from_mean_scv(1.0 / lambda, 8.0));
+
+  const double q_erl = QbdSolution(map_mmpp_1(erl, mmpp)).mean_queue_length();
+  const double q_poi = QbdSolution(map_mmpp_1(poi, mmpp)).mean_queue_length();
+  const double q_hyp = QbdSolution(map_mmpp_1(hyp, mmpp)).mean_queue_length();
+
+  EXPECT_LT(q_erl, q_poi);
+  EXPECT_LT(q_poi, q_hyp);
+}
+
+TEST(MapArrivals, PhaseDimIsProduct) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const auto arr = map::renewal_map(erlang_dist(3, 1.0));
+  const auto blocks = map_mmpp_1(arr, mmpp);
+  EXPECT_EQ(blocks.phase_dim(), 3u * mmpp.dim());
+  EXPECT_NO_THROW(blocks.validate());
+}
+
+TEST(MapArrivals, UtilizationMatchesRateRatio) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const auto arr = map::renewal_map(erlang_dist(2, 1.0));  // rate 1
+  const auto blocks = map_mmpp_1(arr, mmpp);
+  ExpectClose(utilization(blocks), 1.0 / mmpp.mean_rate(), 1e-8, "rho");
+}
+
+TEST(MapArrivals, BlowupSurvivesNonPoissonArrivals) {
+  // Sec. 2.4's point: the qualitative behaviour does not hinge on the
+  // Poisson assumption. Erlang-2 arrivals into TPT-repair service still
+  // blow up across rho_1.
+  const auto mmpp = PaperClusterMmpp(9);
+  auto mean_ql = [&](double rho) {
+    const double lambda = rho * mmpp.mean_rate();
+    const auto arr = map::renewal_map(erlang_dist(2, 1.0 / lambda));
+    return QbdSolution(map_mmpp_1(arr, mmpp)).mean_queue_length() /
+           core::mm1::mean_queue_length(rho);
+  };
+  EXPECT_GT(mean_ql(0.70), 10.0 * mean_ql(0.10));
+}
+
+TEST(MapArrivals, UnstableMapQueueThrows) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const auto arr = map::poisson_map(1.1 * mmpp.mean_rate());
+  EXPECT_THROW(QbdSolution(map_mmpp_1(arr, mmpp)), NumericalError);
+}
+
+// Property: GI/M/1 with varying interarrival SCV, checked against the
+// sigma fixed-point for hyperexponential interarrivals.
+class GiM1Property : public ::testing::TestWithParam<double> {};
+
+TEST_P(GiM1Property, MatchesSigmaFixedPoint) {
+  const double scv = GetParam();
+  const double mu = 2.0;
+  const double rho = 0.6;
+  const auto inter = medist::hyperexp_from_mean_scv(1.0 / (rho * mu), scv);
+
+  // LST of the hyperexponential mixture.
+  auto lst = [&](double s) {
+    const auto& p = inter.entry_vector();
+    const auto& b = inter.rate_matrix();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < inter.dim(); ++i) {
+      acc += p[i] * b(i, i) / (b(i, i) + s);
+    }
+    return acc;
+  };
+  double sigma = 0.5;
+  for (int i = 0; i < 500; ++i) sigma = lst(mu * (1.0 - sigma));
+
+  const QbdSolution sol(map_m_1(map::renewal_map(inter), mu));
+  ExpectClose(sol.mean_queue_length(), rho / (1.0 - sigma), 1e-5, "E[N]");
+}
+
+INSTANTIATE_TEST_SUITE_P(Scv, GiM1Property,
+                         ::testing::Values(1.0, 1.5, 2.0, 5.0, 12.0));
+
+}  // namespace
+}  // namespace performa::qbd

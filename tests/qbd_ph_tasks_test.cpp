@@ -1,0 +1,154 @@
+// Analytic cluster model with phase-type task times (paper Sec. 2.4,
+// "Hyperexponential task times"): the per-server process becomes a MAP,
+// aggregated over N servers, solved as an M/MAP/1 queue. With exponential
+// tasks this must collapse exactly to the M/MMPP/1 model.
+#include <gtest/gtest.h>
+
+#include "core/mm1.h"
+#include "map/server_task_model.h"
+#include "medist/moment_fit.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::erlang_dist;
+using medist::exponential_dist;
+using medist::exponential_from_mean;
+using performa::testing::ExpectClose;
+
+map::Map ClusterServiceMap(const medist::MeDistribution& task,
+                           unsigned t_repair, unsigned n, double delta) {
+  const map::ServerTaskModel server(
+      exponential_from_mean(90.0),
+      medist::make_tpt(medist::TptSpec{t_repair, 1.4, 0.2, 10.0}), 2.0, delta,
+      task);
+  return map::LumpedMapAggregate(server.service_map(), n).aggregate();
+}
+
+TEST(PhTasks, ExponentialTasksCollapseToMmpp) {
+  // exp(nu_p) tasks: one task phase; the MAP model must equal the MMPP
+  // model to machine precision.
+  const map::ServerModel plain(exponential_from_mean(90.0),
+                               medist::make_tpt(medist::TptSpec{3, 1.4, 0.2,
+                                                                10.0}),
+                               2.0, 0.2);
+  const map::LumpedAggregate mmpp_agg(plain, 2);
+  const auto service_map = ClusterServiceMap(exponential_dist(2.0), 3, 2, 0.2);
+
+  const double lambda = 0.6 * mmpp_agg.mmpp().mean_rate();
+  const QbdSolution via_mmpp(m_mmpp_1(mmpp_agg.mmpp(), lambda));
+  const QbdSolution via_map(m_map_1(service_map, lambda));
+
+  ExpectClose(via_map.mean_queue_length(), via_mmpp.mean_queue_length(),
+              1e-9, "E[Q]");
+  ExpectClose(via_map.probability_empty(), via_mmpp.probability_empty(),
+              1e-9, "P(empty)");
+  ExpectClose(via_map.tail(100), via_mmpp.tail(100), 1e-8, "tail(100)");
+}
+
+TEST(PhTasks, ServerTaskModelBasics) {
+  const map::ServerTaskModel m(exponential_from_mean(90.0),
+                               exponential_from_mean(10.0), 2.0, 0.2,
+                               erlang_dist(2, 0.5));
+  EXPECT_EQ(m.server_dim(), 2u);
+  EXPECT_EQ(m.task_dim(), 2u);
+  EXPECT_EQ(m.dim(), 4u);
+  EXPECT_EQ(m.phase_index(1, 1), 3u);
+  EXPECT_THROW(m.phase_index(2, 0), InvalidArgument);
+  // Completion rate of an always-busy server: work mean 0.5 at speed 1
+  // (UP, fraction A) and speed delta (DOWN): rate = A/0.5 + (1-A)*0.2/0.5.
+  ExpectClose(m.mean_completion_rate(), 0.9 / 0.5 + 0.1 * 0.2 / 0.5, 1e-9,
+              "completion rate");
+}
+
+TEST(PhTasks, NonPhaseTypeTaskRejected) {
+  const linalg::Vector p{1.0, 0.0};
+  const linalg::Matrix b{{2.0, 0.5}, {0.0, 1.0}};
+  const medist::MeDistribution non_ph(p, b, "non-ph");
+  EXPECT_THROW(map::ServerTaskModel(exponential_from_mean(90.0),
+                                    exponential_from_mean(10.0), 2.0, 0.2,
+                                    non_ph),
+               InvalidArgument);
+}
+
+TEST(PhTasks, TaskVarianceOrdersTheQueue) {
+  // Erlang-2 tasks (SCV 0.5) < exponential < HYP-2 (SCV 5.3) in mean
+  // queue length at equal utilization -- the analytic counterpart of the
+  // Fig. 9 simulation.
+  const auto erl = ClusterServiceMap(erlang_dist(2, 0.5), 2, 2, 0.2);
+  const auto exp_t = ClusterServiceMap(exponential_dist(2.0), 2, 2, 0.2);
+  const auto hyp = ClusterServiceMap(
+      medist::hyperexp_from_mean_scv(0.5, 5.3), 2, 2, 0.2);
+
+  const double rho = 0.7;
+  const double lambda = rho * exp_t.mean_rate();
+  ExpectClose(erl.mean_rate(), exp_t.mean_rate(), 1e-9, "rate erl");
+  ExpectClose(hyp.mean_rate(), exp_t.mean_rate(), 1e-9, "rate hyp");
+
+  const double q_erl = QbdSolution(m_map_1(erl, lambda)).mean_queue_length();
+  const double q_exp = QbdSolution(m_map_1(exp_t, lambda)).mean_queue_length();
+  const double q_hyp = QbdSolution(m_map_1(hyp, lambda)).mean_queue_length();
+  EXPECT_LT(q_erl, q_exp);
+  EXPECT_LT(q_exp, q_hyp);
+}
+
+TEST(PhTasks, BlowupSurvivesPhaseTypeTasks) {
+  // The qualitative blow-up does not depend on exponential task times.
+  const auto hyp = ClusterServiceMap(
+      medist::hyperexp_from_mean_scv(0.5, 5.3), 5, 2, 0.2);
+  auto nql = [&](double rho) {
+    const double lambda = rho * hyp.mean_rate();
+    return QbdSolution(m_map_1(hyp, lambda)).mean_queue_length() /
+           core::mm1::mean_queue_length(rho);
+  };
+  EXPECT_GT(nql(0.70), 2.0 * nql(0.10));
+}
+
+TEST(PhTasks, LumpedMapAggregateInvariants) {
+  const map::ServerTaskModel server(exponential_from_mean(90.0),
+                                    exponential_from_mean(10.0), 2.0, 0.2,
+                                    erlang_dist(2, 0.5));
+  const map::LumpedMapAggregate agg(server.service_map(), 3);
+  // State count: C(N + m - 1, m - 1) with m = 4 phases.
+  EXPECT_EQ(agg.state_count(), map::lumped_state_count(4, 3));
+  // Aggregate completion rate = N * per-server rate.
+  ExpectClose(agg.aggregate().mean_rate(),
+              3.0 * server.mean_completion_rate(), 1e-9, "rate");
+  for (std::size_t i = 0; i < agg.state_count(); ++i) {
+    unsigned total = 0;
+    for (unsigned c : agg.occupancy(i)) total += c;
+    EXPECT_EQ(total, 3u);
+  }
+  EXPECT_THROW(agg.occupancy(agg.state_count()), InvalidArgument);
+}
+
+TEST(PhTasks, CrashClusterWithPhTasks) {
+  // delta = 0: task phases freeze while DOWN; the model still solves and
+  // shows the heavy-task penalty.
+  const auto service = ClusterServiceMap(
+      medist::hyperexp_from_mean_scv(0.5, 5.3), 2, 2, 0.0);
+  const double lambda = 0.6 * service.mean_rate();
+  const QbdSolution sol(m_map_1(service, lambda));
+  EXPECT_GT(sol.mean_queue_length(), core::mm1::mean_queue_length(0.6));
+}
+
+// Property: aggregate MAP mean rate scales with N and matches the
+// MMPP-based mean service rate for exponential tasks.
+class PhTaskSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PhTaskSweep, RatesConsistent) {
+  const unsigned n = GetParam();
+  const map::ServerTaskModel server(exponential_from_mean(90.0),
+                                    exponential_from_mean(10.0), 2.0, 0.2,
+                                    exponential_dist(2.0));
+  const map::LumpedMapAggregate agg(server.service_map(), n);
+  ExpectClose(agg.aggregate().mean_rate(), n * 1.84, 1e-9, "nu_bar");
+}
+
+INSTANTIATE_TEST_SUITE_P(N, PhTaskSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace performa::qbd

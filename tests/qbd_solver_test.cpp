@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "linalg/ctmc.h"
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::TptSpec;
+using performa::testing::ExpectClose;
+
+map::Mmpp PaperClusterMmpp(unsigned t_phases, unsigned n_servers) {
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                make_tpt(TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, n_servers).mmpp();
+}
+
+TEST(QbdBlocks, ClusterBlocksValidate) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  EXPECT_NO_THROW(m_mmpp_1(mmpp, 1.0).validate());
+  EXPECT_THROW(m_mmpp_1(mmpp, -1.0), InvalidArgument);
+  EXPECT_THROW(m_mmpp_1(mmpp, 0.0), InvalidArgument);
+}
+
+TEST(QbdBlocks, BrokenBlocksRejected) {
+  auto blocks = m_mmpp_1(PaperClusterMmpp(2, 2), 1.0);
+  blocks.a0(0, 0) = -2.0;  // negative rate
+  EXPECT_THROW(blocks.validate(), InvalidArgument);
+
+  blocks = m_mmpp_1(PaperClusterMmpp(2, 2), 1.0);
+  blocks.a1(0, 0) += 5.0;  // breaks row sums
+  EXPECT_THROW(blocks.validate(), InvalidArgument);
+
+  blocks = m_mmpp_1(PaperClusterMmpp(2, 2), 1.0);
+  blocks.b01 = Matrix(2, 2, 0.0);  // wrong shape
+  EXPECT_THROW(blocks.validate(), InvalidArgument);
+}
+
+TEST(RSolver, ResidualSmallOnClusterModel) {
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(9, 2), 2.5);
+  const auto res = solve_r(blocks);
+  EXPECT_LT(res.residual, 1e-8);
+  // R must be entrywise non-negative.
+  for (double x : res.r.data()) EXPECT_GE(x, -1e-12);
+}
+
+TEST(RSolver, AlgorithmsAgree) {
+  // SS converges linearly at rate sp(R); use a mild model (exponential
+  // repair, low load) where sp(R) is small enough for SS to be practical.
+  // Heavy-tail models at high load drive sp(R) -> 1 and make SS useless;
+  // that gap is quantified in bench/perf_qbd_solver.
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(2, 2), 1.0);
+  SolverOptions ss;
+  ss.algorithm = RAlgorithm::kSuccessiveSubstitution;
+  ss.tolerance = 1e-12;
+  const auto r_lr = solve_r(blocks).r;
+  const auto r_ss = solve_r(blocks, ss).r;
+  EXPECT_LT(linalg::max_abs_diff(r_lr, r_ss), 1e-7);
+}
+
+TEST(RSolver, GIsStochasticForStableQueue) {
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(5, 2), 2.0);
+  const Matrix g = solve_g_logred(blocks);
+  EXPECT_TRUE(linalg::is_stochastic(g, 1e-8));
+}
+
+TEST(RSolver, SpectralRadiusBelowOneIffStable) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  const double nu_bar = mmpp.mean_rate();
+  const auto stable = solve_r(m_mmpp_1(mmpp, 0.9 * nu_bar));
+  EXPECT_LT(spectral_radius(stable.r), 1.0);
+  EXPECT_THROW(solve_r(m_mmpp_1(mmpp, 1.1 * nu_bar)), NumericalError);
+}
+
+TEST(RSolver, SpectralRadiusUtilities) {
+  EXPECT_NEAR(spectral_radius(Matrix{{0.5}}), 0.5, 1e-10);
+  EXPECT_NEAR(spectral_radius(Matrix{{0.0, 0.25}, {0.25, 0.0}}), 0.25, 1e-9);
+  EXPECT_EQ(spectral_radius(Matrix(3, 3, 0.0)), 0.0);
+  EXPECT_THROW(spectral_radius(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(QbdSolution, PhaseMarginalMatchesModulatingStationary) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  const QbdSolution sol(m_mmpp_1(mmpp, 2.2));
+  const auto marginal = sol.phase_marginal();
+  const auto pi = mmpp.stationary_phases();
+  EXPECT_LT(linalg::max_abs_diff(marginal, pi), 1e-9);
+}
+
+TEST(QbdSolution, PmfSumsToOne) {
+  const QbdSolution sol(m_mmpp_1(PaperClusterMmpp(5, 2), 1.5));
+  const Vector pmf = sol.pmf_upto(3000);
+  double total = 0.0;
+  for (double x : pmf) total += x;
+  EXPECT_NEAR(total + sol.tail(3001), 1.0, 1e-9);
+}
+
+TEST(QbdSolution, TailMatchesPmfPartialSums) {
+  const QbdSolution sol(m_mmpp_1(PaperClusterMmpp(3, 2), 2.0));
+  const std::size_t k_max = 400;
+  const Vector pmf = sol.pmf_upto(k_max);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < 50; ++k) acc += pmf[k];
+  // Pr(Q >= 50) = 1 - sum_{k<50} pmf
+  ExpectClose(sol.tail(50), 1.0 - acc, 1e-9, "tail(50)");
+}
+
+TEST(QbdSolution, TailBinaryPoweringConsistent) {
+  // tail() switches to binary powering above 64 steps; verify continuity
+  // across the switch point.
+  const QbdSolution sol(m_mmpp_1(PaperClusterMmpp(5, 2), 2.5));
+  const double t64 = sol.tail(64);
+  const double t65 = sol.tail(65);
+  const double t66 = sol.tail(66);
+  EXPECT_GT(t64, t65);
+  EXPECT_GT(t65, t66);
+  // Ratios in a geometric-ish regime vary smoothly.
+  EXPECT_NEAR(t65 / t64, t66 / t65, 0.05);
+}
+
+TEST(QbdSolution, MeanFromPmfMatchesFormula) {
+  const QbdSolution sol(m_mmpp_1(PaperClusterMmpp(2, 2), 1.8));
+  const std::size_t k_max = 6000;
+  const Vector pmf = sol.pmf_upto(k_max);
+  double mean = 0.0;
+  for (std::size_t k = 1; k <= k_max; ++k) mean += k * pmf[k];
+  ExpectClose(mean, sol.mean_queue_length(), 1e-6, "E[Q]");
+}
+
+TEST(QbdSolution, MmppM1DualSolves) {
+  // The N-Burst dual: MMPP arrivals into an exponential server.
+  const auto arrivals = PaperClusterMmpp(5, 2);
+  const double lam_bar = arrivals.mean_rate();
+  const QbdSolution sol(mmpp_m_1(arrivals, lam_bar / 0.5));
+  // Utilization 0.5 with bursty arrivals: worse than M/M/1 at 0.5.
+  EXPECT_GT(sol.mean_queue_length(), 1.0);
+}
+
+}  // namespace
+}  // namespace performa::qbd

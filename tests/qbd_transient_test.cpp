@@ -1,0 +1,187 @@
+#include "qbd/transient.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/expm.h"
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/finite.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::exponential_from_mean;
+using performa::testing::ExpectClose;
+
+map::Mmpp SinglePhase(double mu) {
+  return map::Mmpp(Matrix{{0.0}}, Vector{mu});
+}
+
+map::Mmpp PaperClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+TEST(Transient, ZeroTimeIsIdentity) {
+  const TransientSolver solver(m_mmpp_1(SinglePhase(1.0), 0.5), 10);
+  const auto init = solver.point_mass(3, Vector{1.0});
+  const auto out = solver.evolve(init, 0.0);
+  EXPECT_EQ(out[3][0], 1.0);
+  EXPECT_NEAR(solver.mean_level(out), 3.0, 1e-14);
+}
+
+TEST(Transient, MassConserved) {
+  const TransientSolver solver(m_mmpp_1(PaperClusterMmpp(2), 2.0), 60);
+  const auto pi = PaperClusterMmpp(2).stationary_phases();
+  auto state = solver.point_mass(30, pi);
+  for (double t : {0.1, 1.0, 10.0, 100.0}) {
+    state = solver.evolve(state, t);
+    EXPECT_NEAR(solver.total_mass(state), 1.0, 1e-9) << t;
+    for (const auto& level : state) {
+      for (double x : level) EXPECT_GE(x, -1e-12);
+    }
+  }
+}
+
+TEST(Transient, MatchesDenseExpmOnSmallSystem) {
+  // Build the full truncated generator densely and compare.
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(1), 1.5);
+  const std::size_t m = blocks.phase_dim();
+  const std::size_t cap = 4;
+  const std::size_t n = (cap + 1) * m;
+
+  Matrix q(n, n, 0.0);
+  auto put = [&](std::size_t bl_r, std::size_t bl_c, const Matrix& b) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j) q(bl_r * m + i, bl_c * m + j) += b(i, j);
+  };
+  put(0, 0, blocks.b00);
+  put(0, 1, blocks.b01);
+  put(1, 0, blocks.b10);
+  for (std::size_t k = 1; k <= cap; ++k) {
+    put(k, k, k == cap ? blocks.a1 + blocks.a0 : blocks.a1);
+    if (k + 1 <= cap) {
+      put(k, k + 1, blocks.a0);
+      put(k + 1, k, blocks.a2);
+    }
+  }
+
+  const double t = 7.3;
+  const Matrix p_t = linalg::expm(t * q);
+
+  const TransientSolver solver(blocks, cap);
+  Vector phases(m, 0.0);
+  phases[0] = 1.0;
+  const auto out = solver.evolve(solver.point_mass(2, phases), t, 1e-12);
+
+  // Row of expm corresponding to initial state (level 2, phase 0).
+  for (std::size_t k = 0; k <= cap; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(out[k][i], p_t(2 * m + 0, k * m + i), 1e-8)
+          << "level " << k << " phase " << i;
+    }
+  }
+}
+
+TEST(Transient, ConvergesToStationary) {
+  const auto mmpp = PaperClusterMmpp(2);
+  const auto blocks = m_mmpp_1(mmpp, 0.5 * mmpp.mean_rate());
+  const std::size_t cap = 80;
+  const TransientSolver solver(blocks, cap);
+  const FiniteQbdSolution stationary(blocks, cap);
+
+  auto state = solver.point_mass(40, mmpp.stationary_phases());
+  state = solver.evolve(state, 3000.0, 1e-10);
+  const Vector pmf = solver.level_pmf(state);
+  for (std::size_t k = 0; k <= cap; ++k) {
+    EXPECT_NEAR(pmf[k], stationary.pmf(k), 1e-6) << k;
+  }
+  ExpectClose(solver.mean_level(state), stationary.mean_queue_length(), 1e-4,
+              "E[Q]");
+}
+
+TEST(Transient, BacklogDrainsAtNetRate) {
+  // Far from the boundary, the backlog drains at nu_bar - lambda.
+  const auto mmpp = PaperClusterMmpp(1);
+  const double lambda = 0.4 * mmpp.mean_rate();
+  const TransientSolver solver(m_mmpp_1(mmpp, lambda), 400);
+  auto state = solver.point_mass(300, mmpp.stationary_phases());
+  const double t = 20.0;
+  const auto out = solver.evolve(state, t);
+  const double drained = 300.0 - solver.mean_level(out);
+  ExpectClose(drained, (mmpp.mean_rate() - lambda) * t, 0.05, "drain rate");
+}
+
+TEST(Transient, HeavyTailedRepairSlowsConditionalRecovery) {
+  // Start conditioned on "both servers DOWN" with a backlog: with TPT
+  // repairs the remaining repair time is long (inspection paradox), so
+  // recovery lags the exponential-repair cluster.
+  auto recovery_mean = [](unsigned t_phases) {
+    const map::ServerModel server(
+        exponential_from_mean(90.0),
+        medist::make_tpt(medist::TptSpec{t_phases, 1.4, 0.2, 10.0}), 2.0,
+        0.2);
+    const map::LumpedAggregate agg(server, 2);
+    const auto mmpp = agg.mmpp();
+    const double lambda = 0.4 * mmpp.mean_rate();
+    const TransientSolver solver(m_mmpp_1(mmpp, lambda), 250);
+
+    // Phase distribution: stationary conditioned on zero UP servers.
+    Vector phases = mmpp.stationary_phases();
+    for (std::size_t s = 0; s < agg.state_count(); ++s) {
+      if (agg.up_count(s) != 0) phases[s] = 0.0;
+    }
+    const double mass = linalg::sum(phases);
+    for (double& x : phases) x /= mass;
+
+    auto state = solver.point_mass(150, phases);
+    return solver.mean_level(solver.evolve(state, 40.0));
+  };
+  const double exp_mean = recovery_mean(1);
+  const double tpt_mean = recovery_mean(9);
+  EXPECT_GT(tpt_mean, exp_mean + 10.0);
+}
+
+TEST(Transient, Validation) {
+  const auto blocks = m_mmpp_1(SinglePhase(1.0), 0.5);
+  EXPECT_THROW(TransientSolver(blocks, 0), InvalidArgument);
+  const TransientSolver solver(blocks, 5);
+  EXPECT_THROW(solver.point_mass(9, Vector{1.0}), InvalidArgument);
+  EXPECT_THROW(solver.point_mass(1, Vector{0.5}), InvalidArgument);
+  const auto init = solver.point_mass(1, Vector{1.0});
+  EXPECT_THROW(solver.evolve(init, -1.0), InvalidArgument);
+  EXPECT_THROW(solver.evolve(init, 1.0, 0.0), InvalidArgument);
+}
+
+// Property: monotone relaxation from empty - the mean rises toward the
+// stationary value without overshooting (M/M/1/K is stochastically
+// monotone from the empty state).
+class TransientSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientSweep, MonotoneFromEmpty) {
+  const double rho = GetParam();
+  const auto blocks = m_mmpp_1(SinglePhase(1.0), rho);
+  const std::size_t cap = 60;
+  const TransientSolver solver(blocks, cap);
+  const double limit = FiniteQbdSolution(blocks, cap).mean_queue_length();
+
+  auto state = solver.point_mass(0, Vector{1.0});
+  double prev = 0.0;
+  for (int step = 0; step < 8; ++step) {
+    state = solver.evolve(state, 5.0);
+    const double mean = solver.mean_level(state);
+    EXPECT_GE(mean, prev - 1e-9);
+    EXPECT_LE(mean, limit + 1e-6);
+    prev = mean;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, TransientSweep,
+                         ::testing::Values(0.3, 0.6, 0.9));
+
+}  // namespace
+}  // namespace performa::qbd

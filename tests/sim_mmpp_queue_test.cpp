@@ -1,0 +1,133 @@
+#include "sim/mmpp_queue_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mm1.h"
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::sim {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::TptSpec;
+using performa::testing::ExpectClose;
+
+map::Mmpp SinglePhase(double mu) {
+  return map::Mmpp(linalg::Matrix{{0.0}}, linalg::Vector{mu});
+}
+
+TEST(MmppQueueSim, Mm1MeanMatchesClosedForm) {
+  MmppQueueSimConfig cfg;
+  cfg.lambda = 0.6;
+  cfg.horizon = 4e5;
+  cfg.warmup = 2e4;
+  cfg.seed = 42;
+  const auto res = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  ExpectClose(res.mean_queue_length, core::mm1::mean_queue_length(0.6), 0.04,
+              "E[Q]");
+  ExpectClose(res.probability_empty, 0.4, 0.03, "P(empty)");
+}
+
+TEST(MmppQueueSim, Mm1PmfGeometric) {
+  MmppQueueSimConfig cfg;
+  cfg.lambda = 0.5;
+  cfg.horizon = 4e5;
+  cfg.warmup = 1e4;
+  cfg.seed = 7;
+  const auto res = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  for (std::size_t k : {0u, 1u, 2u, 4u}) {
+    ExpectClose(res.queue_stats.pmf(k), core::mm1::pmf(0.5, k), 0.05, "pmf");
+  }
+}
+
+TEST(MmppQueueSim, ArrivalRateRecovered) {
+  MmppQueueSimConfig cfg;
+  cfg.lambda = 0.8;
+  cfg.horizon = 2e5;
+  cfg.warmup = 1e3;
+  cfg.seed = 3;
+  const auto res = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  ExpectClose(static_cast<double>(res.arrivals) / cfg.horizon, 0.8, 0.03,
+              "arrival rate");
+  // Flow balance: services track arrivals.
+  ExpectClose(static_cast<double>(res.services),
+              static_cast<double>(res.arrivals), 0.05, "flow balance");
+}
+
+TEST(MmppQueueSim, ClusterModelMatchesAnalyticSolution) {
+  // The decisive validation: the simulated M/MMPP/1 queue must agree with
+  // the matrix-geometric solution (crosses vs solid line in Fig. 7).
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                make_tpt(TptSpec{2, 1.4, 0.2, 10.0}), 2.0,
+                                0.2);
+  const map::LumpedAggregate agg(server, 2);
+  const double lambda = 0.5 * agg.mmpp().mean_rate();
+
+  MmppQueueSimConfig cfg;
+  cfg.lambda = lambda;
+  cfg.horizon = 8e5;
+  cfg.warmup = 4e4;
+  cfg.seed = 11;
+  const auto sim = simulate_mmpp_queue(agg.mmpp(), cfg);
+  const qbd::QbdSolution exact(qbd::m_mmpp_1(agg.mmpp(), lambda));
+
+  ExpectClose(sim.mean_queue_length, exact.mean_queue_length(), 0.10, "E[Q]");
+  ExpectClose(sim.probability_empty, exact.probability_empty(), 0.05,
+              "P(empty)");
+}
+
+TEST(MmppQueueSim, DeterministicGivenSeed) {
+  MmppQueueSimConfig cfg;
+  cfg.lambda = 0.5;
+  cfg.horizon = 1e4;
+  cfg.warmup = 0.0;
+  cfg.seed = 99;
+  const auto a = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  const auto b = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  EXPECT_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  cfg.seed = 100;
+  const auto c = simulate_mmpp_queue(SinglePhase(1.0), cfg);
+  EXPECT_NE(a.mean_queue_length, c.mean_queue_length);
+}
+
+TEST(MmppQueueSim, Validation) {
+  MmppQueueSimConfig cfg;
+  cfg.lambda = -1.0;
+  EXPECT_THROW(simulate_mmpp_queue(SinglePhase(1.0), cfg), InvalidArgument);
+  cfg.lambda = 0.5;
+  cfg.horizon = 0.0;
+  EXPECT_THROW(simulate_mmpp_queue(SinglePhase(1.0), cfg), InvalidArgument);
+}
+
+// Property: simulated mean tracks the analytic mean across utilizations
+// for the paper's 2-node cluster with exponential repairs.
+class MmppSimSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MmppSimSweep, TracksAnalyticMean) {
+  const double rho = GetParam();
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                exponential_from_mean(10.0), 2.0, 0.2);
+  const map::LumpedAggregate agg(server, 2);
+  const double lambda = rho * agg.mmpp().mean_rate();
+
+  MmppQueueSimConfig cfg;
+  cfg.lambda = lambda;
+  cfg.horizon = 6e5;
+  cfg.warmup = 3e4;
+  cfg.seed = 1234;
+  const auto sim = simulate_mmpp_queue(agg.mmpp(), cfg);
+  const qbd::QbdSolution exact(qbd::m_mmpp_1(agg.mmpp(), lambda));
+  ExpectClose(sim.mean_queue_length, exact.mean_queue_length(),
+              0.05 + 0.1 * rho, "E[Q]");
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, MmppSimSweep,
+                         ::testing::Values(0.2, 0.5, 0.7));
+
+}  // namespace
+}  // namespace performa::sim
