@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_ph_tasks.dir/ext1_ph_tasks.cpp.o"
+  "CMakeFiles/ext1_ph_tasks.dir/ext1_ph_tasks.cpp.o.d"
+  "ext1_ph_tasks"
+  "ext1_ph_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_ph_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_finite_buffer.dir/ext2_finite_buffer.cpp.o"
+  "CMakeFiles/ext2_finite_buffer.dir/ext2_finite_buffer.cpp.o.d"
+  "ext2_finite_buffer"
+  "ext2_finite_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_finite_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

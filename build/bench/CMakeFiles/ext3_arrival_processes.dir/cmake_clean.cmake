@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_arrival_processes.dir/ext3_arrival_processes.cpp.o"
+  "CMakeFiles/ext3_arrival_processes.dir/ext3_arrival_processes.cpp.o.d"
+  "ext3_arrival_processes"
+  "ext3_arrival_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_arrival_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext3_arrival_processes.
+# This may be replaced when dependencies are built.

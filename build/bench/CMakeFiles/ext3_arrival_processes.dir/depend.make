@@ -1,0 +1,2 @@
+# Empty dependencies file for ext3_arrival_processes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4_discard_analytic.dir/ext4_discard_analytic.cpp.o"
+  "CMakeFiles/ext4_discard_analytic.dir/ext4_discard_analytic.cpp.o.d"
+  "ext4_discard_analytic"
+  "ext4_discard_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_discard_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

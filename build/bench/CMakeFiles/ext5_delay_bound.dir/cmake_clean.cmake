@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext5_delay_bound.dir/ext5_delay_bound.cpp.o"
+  "CMakeFiles/ext5_delay_bound.dir/ext5_delay_bound.cpp.o.d"
+  "ext5_delay_bound"
+  "ext5_delay_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext5_delay_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

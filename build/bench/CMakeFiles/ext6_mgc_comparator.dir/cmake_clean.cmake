@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext6_mgc_comparator.dir/ext6_mgc_comparator.cpp.o"
+  "CMakeFiles/ext6_mgc_comparator.dir/ext6_mgc_comparator.cpp.o.d"
+  "ext6_mgc_comparator"
+  "ext6_mgc_comparator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext6_mgc_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext6_mgc_comparator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext7_transient_recovery.dir/ext7_transient_recovery.cpp.o"
+  "CMakeFiles/ext7_transient_recovery.dir/ext7_transient_recovery.cpp.o.d"
+  "ext7_transient_recovery"
+  "ext7_transient_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext7_transient_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext8_heterogeneity.dir/ext8_heterogeneity.cpp.o"
+  "CMakeFiles/ext8_heterogeneity.dir/ext8_heterogeneity.cpp.o.d"
+  "ext8_heterogeneity"
+  "ext8_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext8_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

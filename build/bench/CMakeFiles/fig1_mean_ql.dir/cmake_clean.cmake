@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mean_ql.dir/fig1_mean_ql.cpp.o"
+  "CMakeFiles/fig1_mean_ql.dir/fig1_mean_ql.cpp.o.d"
+  "fig1_mean_ql"
+  "fig1_mean_ql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mean_ql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_mean_ql.
+# This may be replaced when dependencies are built.

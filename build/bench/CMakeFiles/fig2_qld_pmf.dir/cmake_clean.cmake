@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_qld_pmf.dir/fig2_qld_pmf.cpp.o"
+  "CMakeFiles/fig2_qld_pmf.dir/fig2_qld_pmf.cpp.o.d"
+  "fig2_qld_pmf"
+  "fig2_qld_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_qld_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tail_prob.dir/fig3_tail_prob.cpp.o"
+  "CMakeFiles/fig3_tail_prob.dir/fig3_tail_prob.cpp.o.d"
+  "fig3_tail_prob"
+  "fig3_tail_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tail_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hyp2_mean_ql.dir/fig4_hyp2_mean_ql.cpp.o"
+  "CMakeFiles/fig4_hyp2_mean_ql.dir/fig4_hyp2_mean_ql.cpp.o.d"
+  "fig4_hyp2_mean_ql"
+  "fig4_hyp2_mean_ql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hyp2_mean_ql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

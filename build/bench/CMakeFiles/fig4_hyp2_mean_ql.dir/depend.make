@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_hyp2_mean_ql.
+# This may be replaced when dependencies are built.

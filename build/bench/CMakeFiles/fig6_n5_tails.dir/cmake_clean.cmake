@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_n5_tails.dir/fig6_n5_tails.cpp.o"
+  "CMakeFiles/fig6_n5_tails.dir/fig6_n5_tails.cpp.o.d"
+  "fig6_n5_tails"
+  "fig6_n5_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_n5_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_nonexp_tasks.dir/fig9_nonexp_tasks.cpp.o"
+  "CMakeFiles/fig9_nonexp_tasks.dir/fig9_nonexp_tasks.cpp.o.d"
+  "fig9_nonexp_tasks"
+  "fig9_nonexp_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_nonexp_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_statespace.dir/perf_statespace.cpp.o"
+  "CMakeFiles/perf_statespace.dir/perf_statespace.cpp.o.d"
+  "perf_statespace"
+  "perf_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

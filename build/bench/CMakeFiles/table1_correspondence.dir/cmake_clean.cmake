@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_correspondence.dir/table1_correspondence.cpp.o"
+  "CMakeFiles/table1_correspondence.dir/table1_correspondence.cpp.o.d"
+  "table1_correspondence"
+  "table1_correspondence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_correspondence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

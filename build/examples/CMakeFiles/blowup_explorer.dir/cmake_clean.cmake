@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blowup_explorer.dir/blowup_explorer.cpp.o"
+  "CMakeFiles/blowup_explorer.dir/blowup_explorer.cpp.o.d"
+  "blowup_explorer"
+  "blowup_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blowup_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

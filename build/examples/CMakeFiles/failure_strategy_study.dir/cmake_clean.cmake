@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_strategy_study.dir/failure_strategy_study.cpp.o"
+  "CMakeFiles/failure_strategy_study.dir/failure_strategy_study.cpp.o.d"
+  "failure_strategy_study"
+  "failure_strategy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_strategy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_from_logs.dir/fit_from_logs.cpp.o"
+  "CMakeFiles/fit_from_logs.dir/fit_from_logs.cpp.o.d"
+  "fit_from_logs"
+  "fit_from_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_from_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfctl.dir/perfctl.cpp.o"
+  "CMakeFiles/perfctl.dir/perfctl.cpp.o.d"
+  "perfctl"
+  "perfctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

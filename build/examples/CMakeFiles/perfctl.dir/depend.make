@@ -1,0 +1,2 @@
+# Empty dependencies file for perfctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teletraffic_nburst.dir/teletraffic_nburst.cpp.o"
+  "CMakeFiles/teletraffic_nburst.dir/teletraffic_nburst.cpp.o.d"
+  "teletraffic_nburst"
+  "teletraffic_nburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teletraffic_nburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

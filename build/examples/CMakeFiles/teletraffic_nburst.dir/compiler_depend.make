@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for teletraffic_nburst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for teletraffic_nburst.
+# This may be replaced when dependencies are built.

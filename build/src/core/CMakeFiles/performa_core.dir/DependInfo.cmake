@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blowup.cpp" "src/core/CMakeFiles/performa_core.dir/blowup.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/blowup.cpp.o.d"
+  "/root/repo/src/core/cluster_model.cpp" "src/core/CMakeFiles/performa_core.dir/cluster_model.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/core/completion_time.cpp" "src/core/CMakeFiles/performa_core.dir/completion_time.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/completion_time.cpp.o.d"
+  "/root/repo/src/core/mgc.cpp" "src/core/CMakeFiles/performa_core.dir/mgc.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/mgc.cpp.o.d"
+  "/root/repo/src/core/mm1.cpp" "src/core/CMakeFiles/performa_core.dir/mm1.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/mm1.cpp.o.d"
+  "/root/repo/src/core/nburst.cpp" "src/core/CMakeFiles/performa_core.dir/nburst.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/nburst.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/performa_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/performa_core.dir/qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbd/CMakeFiles/performa_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/performa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/medist/CMakeFiles/performa_medist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_core.dir/blowup.cpp.o"
+  "CMakeFiles/performa_core.dir/blowup.cpp.o.d"
+  "CMakeFiles/performa_core.dir/cluster_model.cpp.o"
+  "CMakeFiles/performa_core.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/performa_core.dir/completion_time.cpp.o"
+  "CMakeFiles/performa_core.dir/completion_time.cpp.o.d"
+  "CMakeFiles/performa_core.dir/mgc.cpp.o"
+  "CMakeFiles/performa_core.dir/mgc.cpp.o.d"
+  "CMakeFiles/performa_core.dir/mm1.cpp.o"
+  "CMakeFiles/performa_core.dir/mm1.cpp.o.d"
+  "CMakeFiles/performa_core.dir/nburst.cpp.o"
+  "CMakeFiles/performa_core.dir/nburst.cpp.o.d"
+  "CMakeFiles/performa_core.dir/qos.cpp.o"
+  "CMakeFiles/performa_core.dir/qos.cpp.o.d"
+  "libperforma_core.a"
+  "libperforma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_linalg.dir/ctmc.cpp.o"
+  "CMakeFiles/performa_linalg.dir/ctmc.cpp.o.d"
+  "CMakeFiles/performa_linalg.dir/expm.cpp.o"
+  "CMakeFiles/performa_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/performa_linalg.dir/kron.cpp.o"
+  "CMakeFiles/performa_linalg.dir/kron.cpp.o.d"
+  "CMakeFiles/performa_linalg.dir/lu.cpp.o"
+  "CMakeFiles/performa_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/performa_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/performa_linalg.dir/matrix.cpp.o.d"
+  "libperforma_linalg.a"
+  "libperforma_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/kron_aggregate.cpp" "src/map/CMakeFiles/performa_map.dir/kron_aggregate.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/kron_aggregate.cpp.o.d"
+  "/root/repo/src/map/lumped_aggregate.cpp" "src/map/CMakeFiles/performa_map.dir/lumped_aggregate.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/lumped_aggregate.cpp.o.d"
+  "/root/repo/src/map/map_process.cpp" "src/map/CMakeFiles/performa_map.dir/map_process.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/map_process.cpp.o.d"
+  "/root/repo/src/map/mmpp.cpp" "src/map/CMakeFiles/performa_map.dir/mmpp.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/mmpp.cpp.o.d"
+  "/root/repo/src/map/server_model.cpp" "src/map/CMakeFiles/performa_map.dir/server_model.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/server_model.cpp.o.d"
+  "/root/repo/src/map/server_task_model.cpp" "src/map/CMakeFiles/performa_map.dir/server_task_model.cpp.o" "gcc" "src/map/CMakeFiles/performa_map.dir/server_task_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/medist/CMakeFiles/performa_medist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

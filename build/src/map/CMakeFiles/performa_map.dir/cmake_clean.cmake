@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_map.dir/kron_aggregate.cpp.o"
+  "CMakeFiles/performa_map.dir/kron_aggregate.cpp.o.d"
+  "CMakeFiles/performa_map.dir/lumped_aggregate.cpp.o"
+  "CMakeFiles/performa_map.dir/lumped_aggregate.cpp.o.d"
+  "CMakeFiles/performa_map.dir/map_process.cpp.o"
+  "CMakeFiles/performa_map.dir/map_process.cpp.o.d"
+  "CMakeFiles/performa_map.dir/mmpp.cpp.o"
+  "CMakeFiles/performa_map.dir/mmpp.cpp.o.d"
+  "CMakeFiles/performa_map.dir/server_model.cpp.o"
+  "CMakeFiles/performa_map.dir/server_model.cpp.o.d"
+  "CMakeFiles/performa_map.dir/server_task_model.cpp.o"
+  "CMakeFiles/performa_map.dir/server_task_model.cpp.o.d"
+  "libperforma_map.a"
+  "libperforma_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

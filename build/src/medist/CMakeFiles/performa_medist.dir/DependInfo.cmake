@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/medist/empirical.cpp" "src/medist/CMakeFiles/performa_medist.dir/empirical.cpp.o" "gcc" "src/medist/CMakeFiles/performa_medist.dir/empirical.cpp.o.d"
+  "/root/repo/src/medist/me_dist.cpp" "src/medist/CMakeFiles/performa_medist.dir/me_dist.cpp.o" "gcc" "src/medist/CMakeFiles/performa_medist.dir/me_dist.cpp.o.d"
+  "/root/repo/src/medist/moment_fit.cpp" "src/medist/CMakeFiles/performa_medist.dir/moment_fit.cpp.o" "gcc" "src/medist/CMakeFiles/performa_medist.dir/moment_fit.cpp.o.d"
+  "/root/repo/src/medist/sampler.cpp" "src/medist/CMakeFiles/performa_medist.dir/sampler.cpp.o" "gcc" "src/medist/CMakeFiles/performa_medist.dir/sampler.cpp.o.d"
+  "/root/repo/src/medist/tpt.cpp" "src/medist/CMakeFiles/performa_medist.dir/tpt.cpp.o" "gcc" "src/medist/CMakeFiles/performa_medist.dir/tpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

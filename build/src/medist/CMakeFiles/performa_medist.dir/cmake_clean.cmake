@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_medist.dir/empirical.cpp.o"
+  "CMakeFiles/performa_medist.dir/empirical.cpp.o.d"
+  "CMakeFiles/performa_medist.dir/me_dist.cpp.o"
+  "CMakeFiles/performa_medist.dir/me_dist.cpp.o.d"
+  "CMakeFiles/performa_medist.dir/moment_fit.cpp.o"
+  "CMakeFiles/performa_medist.dir/moment_fit.cpp.o.d"
+  "CMakeFiles/performa_medist.dir/sampler.cpp.o"
+  "CMakeFiles/performa_medist.dir/sampler.cpp.o.d"
+  "CMakeFiles/performa_medist.dir/tpt.cpp.o"
+  "CMakeFiles/performa_medist.dir/tpt.cpp.o.d"
+  "libperforma_medist.a"
+  "libperforma_medist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_medist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qbd/finite.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/finite.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/finite.cpp.o.d"
+  "/root/repo/src/qbd/level_dependent.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/level_dependent.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/level_dependent.cpp.o.d"
+  "/root/repo/src/qbd/qbd.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/qbd.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/qbd.cpp.o.d"
+  "/root/repo/src/qbd/rsolver.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/rsolver.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/rsolver.cpp.o.d"
+  "/root/repo/src/qbd/solution.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/solution.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/solution.cpp.o.d"
+  "/root/repo/src/qbd/transient.cpp" "src/qbd/CMakeFiles/performa_qbd.dir/transient.cpp.o" "gcc" "src/qbd/CMakeFiles/performa_qbd.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/map/CMakeFiles/performa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/medist/CMakeFiles/performa_medist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_qbd.dir/finite.cpp.o"
+  "CMakeFiles/performa_qbd.dir/finite.cpp.o.d"
+  "CMakeFiles/performa_qbd.dir/level_dependent.cpp.o"
+  "CMakeFiles/performa_qbd.dir/level_dependent.cpp.o.d"
+  "CMakeFiles/performa_qbd.dir/qbd.cpp.o"
+  "CMakeFiles/performa_qbd.dir/qbd.cpp.o.d"
+  "CMakeFiles/performa_qbd.dir/rsolver.cpp.o"
+  "CMakeFiles/performa_qbd.dir/rsolver.cpp.o.d"
+  "CMakeFiles/performa_qbd.dir/solution.cpp.o"
+  "CMakeFiles/performa_qbd.dir/solution.cpp.o.d"
+  "CMakeFiles/performa_qbd.dir/transient.cpp.o"
+  "CMakeFiles/performa_qbd.dir/transient.cpp.o.d"
+  "libperforma_qbd.a"
+  "libperforma_qbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_qbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for performa_qbd.
+# This may be replaced when dependencies are built.

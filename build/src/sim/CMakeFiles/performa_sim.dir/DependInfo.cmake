@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cpp" "src/sim/CMakeFiles/performa_sim.dir/cluster_sim.cpp.o" "gcc" "src/sim/CMakeFiles/performa_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sim/mmpp_queue_sim.cpp" "src/sim/CMakeFiles/performa_sim.dir/mmpp_queue_sim.cpp.o" "gcc" "src/sim/CMakeFiles/performa_sim.dir/mmpp_queue_sim.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/performa_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/performa_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/performa_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/performa_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/medist/CMakeFiles/performa_medist.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/performa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/performa_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/performa_sim.dir/mmpp_queue_sim.cpp.o"
+  "CMakeFiles/performa_sim.dir/mmpp_queue_sim.cpp.o.d"
+  "CMakeFiles/performa_sim.dir/random.cpp.o"
+  "CMakeFiles/performa_sim.dir/random.cpp.o.d"
+  "CMakeFiles/performa_sim.dir/stats.cpp.o"
+  "CMakeFiles/performa_sim.dir/stats.cpp.o.d"
+  "libperforma_sim.a"
+  "libperforma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_blowup_test.dir/core_blowup_test.cpp.o"
+  "CMakeFiles/core_blowup_test.dir/core_blowup_test.cpp.o.d"
+  "core_blowup_test"
+  "core_blowup_test.pdb"
+  "core_blowup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_blowup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

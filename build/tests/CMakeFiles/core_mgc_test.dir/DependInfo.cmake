@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_mgc_test.cpp" "tests/CMakeFiles/core_mgc_test.dir/core_mgc_test.cpp.o" "gcc" "tests/CMakeFiles/core_mgc_test.dir/core_mgc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/performa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbd/CMakeFiles/performa_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/performa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/performa_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/medist/CMakeFiles/performa_medist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/performa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

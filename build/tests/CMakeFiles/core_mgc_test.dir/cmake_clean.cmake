@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mgc_test.dir/core_mgc_test.cpp.o"
+  "CMakeFiles/core_mgc_test.dir/core_mgc_test.cpp.o.d"
+  "core_mgc_test"
+  "core_mgc_test.pdb"
+  "core_mgc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nburst_test.dir/core_nburst_test.cpp.o"
+  "CMakeFiles/core_nburst_test.dir/core_nburst_test.cpp.o.d"
+  "core_nburst_test"
+  "core_nburst_test.pdb"
+  "core_nburst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nburst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

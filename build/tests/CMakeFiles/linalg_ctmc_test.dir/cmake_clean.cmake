@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_ctmc_test.dir/linalg_ctmc_test.cpp.o"
+  "CMakeFiles/linalg_ctmc_test.dir/linalg_ctmc_test.cpp.o.d"
+  "linalg_ctmc_test"
+  "linalg_ctmc_test.pdb"
+  "linalg_ctmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_kron_test.dir/linalg_kron_test.cpp.o"
+  "CMakeFiles/linalg_kron_test.dir/linalg_kron_test.cpp.o.d"
+  "linalg_kron_test"
+  "linalg_kron_test.pdb"
+  "linalg_kron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_kron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

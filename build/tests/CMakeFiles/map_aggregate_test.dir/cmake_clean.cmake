@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_aggregate_test.dir/map_aggregate_test.cpp.o"
+  "CMakeFiles/map_aggregate_test.dir/map_aggregate_test.cpp.o.d"
+  "map_aggregate_test"
+  "map_aggregate_test.pdb"
+  "map_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_correlation_sim_test.dir/map_correlation_sim_test.cpp.o"
+  "CMakeFiles/map_correlation_sim_test.dir/map_correlation_sim_test.cpp.o.d"
+  "map_correlation_sim_test"
+  "map_correlation_sim_test.pdb"
+  "map_correlation_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_correlation_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_process_test.dir/map_process_test.cpp.o"
+  "CMakeFiles/map_process_test.dir/map_process_test.cpp.o.d"
+  "map_process_test"
+  "map_process_test.pdb"
+  "map_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

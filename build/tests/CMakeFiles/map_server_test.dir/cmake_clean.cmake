@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_server_test.dir/map_server_test.cpp.o"
+  "CMakeFiles/map_server_test.dir/map_server_test.cpp.o.d"
+  "map_server_test"
+  "map_server_test.pdb"
+  "map_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

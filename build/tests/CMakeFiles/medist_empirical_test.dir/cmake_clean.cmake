@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medist_empirical_test.dir/medist_empirical_test.cpp.o"
+  "CMakeFiles/medist_empirical_test.dir/medist_empirical_test.cpp.o.d"
+  "medist_empirical_test"
+  "medist_empirical_test.pdb"
+  "medist_empirical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medist_empirical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

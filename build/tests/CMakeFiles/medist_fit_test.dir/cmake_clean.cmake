@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medist_fit_test.dir/medist_fit_test.cpp.o"
+  "CMakeFiles/medist_fit_test.dir/medist_fit_test.cpp.o.d"
+  "medist_fit_test"
+  "medist_fit_test.pdb"
+  "medist_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medist_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medist_me_test.dir/medist_me_test.cpp.o"
+  "CMakeFiles/medist_me_test.dir/medist_me_test.cpp.o.d"
+  "medist_me_test"
+  "medist_me_test.pdb"
+  "medist_me_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medist_me_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medist_sampler_test.dir/medist_sampler_test.cpp.o"
+  "CMakeFiles/medist_sampler_test.dir/medist_sampler_test.cpp.o.d"
+  "medist_sampler_test"
+  "medist_sampler_test.pdb"
+  "medist_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medist_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

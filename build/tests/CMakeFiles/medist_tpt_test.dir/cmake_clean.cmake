@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medist_tpt_test.dir/medist_tpt_test.cpp.o"
+  "CMakeFiles/medist_tpt_test.dir/medist_tpt_test.cpp.o.d"
+  "medist_tpt_test"
+  "medist_tpt_test.pdb"
+  "medist_tpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medist_tpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

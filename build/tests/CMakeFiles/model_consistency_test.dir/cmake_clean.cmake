@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_consistency_test.dir/model_consistency_test.cpp.o"
+  "CMakeFiles/model_consistency_test.dir/model_consistency_test.cpp.o.d"
+  "model_consistency_test"
+  "model_consistency_test.pdb"
+  "model_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_discard_test.dir/qbd_discard_test.cpp.o"
+  "CMakeFiles/qbd_discard_test.dir/qbd_discard_test.cpp.o.d"
+  "qbd_discard_test"
+  "qbd_discard_test.pdb"
+  "qbd_discard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_discard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_finite_test.dir/qbd_finite_test.cpp.o"
+  "CMakeFiles/qbd_finite_test.dir/qbd_finite_test.cpp.o.d"
+  "qbd_finite_test"
+  "qbd_finite_test.pdb"
+  "qbd_finite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_finite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

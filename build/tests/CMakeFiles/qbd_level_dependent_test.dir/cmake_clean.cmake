@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_level_dependent_test.dir/qbd_level_dependent_test.cpp.o"
+  "CMakeFiles/qbd_level_dependent_test.dir/qbd_level_dependent_test.cpp.o.d"
+  "qbd_level_dependent_test"
+  "qbd_level_dependent_test.pdb"
+  "qbd_level_dependent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_level_dependent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

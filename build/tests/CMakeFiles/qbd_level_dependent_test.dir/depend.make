@@ -1,0 +1,2 @@
+# Empty dependencies file for qbd_level_dependent_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_map_arrivals_test.dir/qbd_map_arrivals_test.cpp.o"
+  "CMakeFiles/qbd_map_arrivals_test.dir/qbd_map_arrivals_test.cpp.o.d"
+  "qbd_map_arrivals_test"
+  "qbd_map_arrivals_test.pdb"
+  "qbd_map_arrivals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_map_arrivals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_mm1_test.dir/qbd_mm1_test.cpp.o"
+  "CMakeFiles/qbd_mm1_test.dir/qbd_mm1_test.cpp.o.d"
+  "qbd_mm1_test"
+  "qbd_mm1_test.pdb"
+  "qbd_mm1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_mm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

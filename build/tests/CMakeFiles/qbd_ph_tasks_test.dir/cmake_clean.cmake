@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_ph_tasks_test.dir/qbd_ph_tasks_test.cpp.o"
+  "CMakeFiles/qbd_ph_tasks_test.dir/qbd_ph_tasks_test.cpp.o.d"
+  "qbd_ph_tasks_test"
+  "qbd_ph_tasks_test.pdb"
+  "qbd_ph_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_ph_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qbd_ph_tasks_test.
+# This may be replaced when dependencies are built.

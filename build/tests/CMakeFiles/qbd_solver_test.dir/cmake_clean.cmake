@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_solver_test.dir/qbd_solver_test.cpp.o"
+  "CMakeFiles/qbd_solver_test.dir/qbd_solver_test.cpp.o.d"
+  "qbd_solver_test"
+  "qbd_solver_test.pdb"
+  "qbd_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

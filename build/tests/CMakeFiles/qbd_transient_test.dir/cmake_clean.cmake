@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbd_transient_test.dir/qbd_transient_test.cpp.o"
+  "CMakeFiles/qbd_transient_test.dir/qbd_transient_test.cpp.o.d"
+  "qbd_transient_test"
+  "qbd_transient_test.pdb"
+  "qbd_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbd_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
