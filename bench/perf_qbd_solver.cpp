@@ -54,6 +54,30 @@ void BM_SuccessiveSubstitution(benchmark::State& state) {
   state.counters["ss_iterations"] = iterations;
 }
 
+void BM_NewtonShifted(benchmark::State& state) {
+  // Third tier of the fallback chain: linear convergence but cheap steps
+  // (one LU per iteration), and it keeps contracting where the LR defect
+  // stagnates near a blow-up point.
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  qbd::SolverOptions opts;
+  opts.algorithm = qbd::RAlgorithm::kNewtonShifted;
+  unsigned iterations = 0;
+  const char* winner = "?";
+  for (auto _ : state) {
+    auto result = qbd::solve_r(blocks, opts);
+    iterations = result.iterations;
+    winner = qbd::to_string(result.report.winner);
+    benchmark::DoNotOptimize(result.r);
+  }
+  // Near a blow-up point Newton projects a miss and the chain fails over
+  // to logarithmic reduction; the label records who actually won.
+  state.SetLabel(std::string("winner=") + winner);
+  state.counters["iterations"] = iterations;
+}
+
 void BM_FullSolution(benchmark::State& state) {
   // End-to-end: R + boundary + mean queue length, the per-point cost of
   // the Fig. 1 sweep.
@@ -81,6 +105,12 @@ BENCHMARK(BM_SuccessiveSubstitution)
     ->Args({1, 30})
     ->Args({1, 50})
     ->Args({2, 50})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_NewtonShifted)
+    ->Args({1, 50})
+    ->Args({10, 50})
+    ->Args({10, 90})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_FullSolution)

@@ -6,21 +6,33 @@
 //   perfctl simulate [N nu_p delta mttf mttr rho cycles seed]
 //                                                  multiprocessor simulation
 //
+// Flags (anywhere on the command line):
+//   --report             solve/sweep: print the solver's SolveReport
+//   --inject <scenario>  simulate: run a fault-injection scenario
+//
 // Arguments are positional with defaults matching the paper's running
 // example; `perfctl <cmd>` with no arguments reproduces paper numbers.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/cluster_model.h"
 #include "core/mm1.h"
 #include "core/qos.h"
+#include "qbd/solve_report.h"
 #include "sim/cluster_sim.h"
 
 using namespace performa;
 
 namespace {
+
+// Flags stripped from argv before positional parsing.
+struct Flags {
+  bool report = false;
+  std::string inject;  // fault-injection scenario spec (empty = none)
+};
 
 double Arg(int argc, char** argv, int index, double fallback) {
   return argc > index ? std::atof(argv[index]) : fallback;
@@ -58,7 +70,7 @@ int CmdBlowup(int argc, char** argv) {
   return 0;
 }
 
-int CmdSolve(int argc, char** argv) {
+int CmdSolve(int argc, char** argv, const Flags& flags) {
   const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
                             Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
                             Arg(argc, argv, 6, 10.0),
@@ -81,6 +93,9 @@ int CmdSolve(int argc, char** argv) {
   }
   std::printf("min d, eps=1e-4   %.2f time units\n",
               core::min_deadline_for(sol, 1e-4, nu_bar));
+  if (flags.report) {
+    std::printf("--- solve report ---\n%s", sol.report().to_string().c_str());
+  }
   return 0;
 }
 
@@ -100,7 +115,7 @@ int CmdSweep(int argc, char** argv) {
   return 0;
 }
 
-int CmdSimulate(int argc, char** argv) {
+int CmdSimulate(int argc, char** argv, const Flags& flags) {
   const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
                             Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
                             Arg(argc, argv, 6, 10.0), 10);
@@ -117,6 +132,13 @@ int CmdSimulate(int argc, char** argv) {
   cfg.cycles = static_cast<std::size_t>(Arg(argc, argv, 8, 20000));
   cfg.warmup_cycles = cfg.cycles / 10;
   cfg.seed = static_cast<std::uint64_t>(Arg(argc, argv, 9, 1));
+  if (!flags.inject.empty()) {
+    cfg.faults = sim::parse_scenario(flags.inject);
+    // Injected scenarios can make the system unstable; cap the run so a
+    // runaway queue returns degraded partial statistics instead of hanging.
+    cfg.budget.max_events = 50'000'000;
+    cfg.budget.max_wall_seconds = 60.0;
+  }
 
   const auto res = sim::simulate_cluster(cfg);
   std::printf("simulated time    %.1f\n", res.sim_time);
@@ -125,31 +147,77 @@ int CmdSimulate(int argc, char** argv) {
   std::printf("E[Q] (sim)        %.4f\n", res.mean_queue_length);
   std::printf("E[Q] (analytic)   %.4f\n",
               model.solve(cfg.lambda).mean_queue_length());
-  std::printf("E[system time]    %.4f\n", res.system_time.mean());
+  if (res.system_time.count() > 0) {
+    std::printf("E[system time]    %.4f\n", res.system_time.mean());
+  }
+  if (!flags.inject.empty()) {
+    std::printf("injected crashes  %zu\n", res.injected_crashes);
+    std::printf("injected arrivals %zu\n", res.injected_arrivals);
+    std::printf("repair preempts   %zu\n", res.repair_preemptions);
+  }
+  if (res.degraded) {
+    std::printf("DEGRADED          %s\n", res.degraded_reason.c_str());
+  }
   return 0;
 }
 
 void Usage() {
   std::printf(
-      "usage: perfctl <command> [args]\n"
+      "usage: perfctl <command> [args] [flags]\n"
       "  blowup   [N nu_p delta A alpha]\n"
       "  solve    [N nu_p delta mttf mttr rho T]\n"
       "  sweep    [N nu_p delta mttf mttr T]\n"
-      "  simulate [N nu_p delta mttf mttr rho cycles seed]\n");
+      "  simulate [N nu_p delta mttf mttr rho cycles seed]\n"
+      "flags:\n"
+      "  --report             print solver diagnostics (solve)\n"
+      "  --inject <scenario>  run a fault-injection scenario (simulate)\n"
+      "%s",
+      sim::scenario_grammar().c_str());
+}
+
+// Strips --report / --inject <spec> out of argv; remaining arguments keep
+// their relative order so positional parsing is unaffected.
+Flags StripFlags(int& argc, char** argv) {
+  Flags flags;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      flags.report = true;
+    } else if (std::strcmp(argv[i], "--inject") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perfctl: --inject needs a scenario\n%s",
+                     sim::scenario_grammar().c_str());
+        std::exit(1);
+      }
+      flags.inject = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const Flags flags = StripFlags(argc, argv);
   if (argc < 2) {
     Usage();
     return 1;
   }
   try {
     if (std::strcmp(argv[1], "blowup") == 0) return CmdBlowup(argc, argv);
-    if (std::strcmp(argv[1], "solve") == 0) return CmdSolve(argc, argv);
+    if (std::strcmp(argv[1], "solve") == 0) return CmdSolve(argc, argv, flags);
     if (std::strcmp(argv[1], "sweep") == 0) return CmdSweep(argc, argv);
-    if (std::strcmp(argv[1], "simulate") == 0) return CmdSimulate(argc, argv);
+    if (std::strcmp(argv[1], "simulate") == 0)
+      return CmdSimulate(argc, argv, flags);
+  } catch (const qbd::SolverFailure& e) {
+    std::fprintf(stderr, "perfctl: solver failed\n%s\n", e.what());
+    return 2;
+  } catch (const qbd::UnstableModel& e) {
+    std::fprintf(stderr, "perfctl: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perfctl: %s\n", e.what());
     return 2;

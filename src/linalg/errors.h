@@ -26,6 +26,15 @@ class NumericalError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a NaN or infinity crosses a stage boundary (sampler output,
+/// solver iterate, statistics accumulator). Distinct from NumericalError
+/// so callers can tell "the iteration diverged" from "a non-finite value
+/// escaped and would silently poison everything downstream".
+class NonFiniteError : public NumericalError {
+ public:
+  using NumericalError::NumericalError;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid(const std::string& what) {
   throw InvalidArgument(what);

@@ -21,19 +21,10 @@ constexpr double kPade13[] = {
 // double-precision accuracy without squaring.
 constexpr double kTheta13 = 5.371920351148152;
 
-}  // namespace
-
-Matrix expm(const Matrix& a) {
-  PERFORMA_EXPECTS(a.is_square() && !a.empty(), "expm: matrix must be square");
+Matrix expm_pade13(const Matrix& a, int squarings) {
   const std::size_t n = a.rows();
-
-  const double nrm = norm_1(a);
-  int squarings = 0;
   Matrix as = a;
-  if (nrm > kTheta13) {
-    squarings = static_cast<int>(std::ceil(std::log2(nrm / kTheta13)));
-    as *= std::ldexp(1.0, -squarings);
-  }
+  if (squarings > 0) as *= std::ldexp(1.0, -squarings);
 
   // Evaluate the (13,13) Padé approximant exp(A) ~ (V - U)^{-1} (V + U)
   // with U odd and V even in A.
@@ -55,6 +46,35 @@ Matrix expm(const Matrix& a) {
   Matrix result = Lu(v - u).solve(v + u);
   for (int i = 0; i < squarings; ++i) result = result * result;
   return result;
+}
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  PERFORMA_EXPECTS(a.is_square() && !a.empty(), "expm: matrix must be square");
+  check_finite(a, "expm");
+
+  const double nrm = norm_1(a);
+  int squarings = 0;
+  if (nrm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(nrm / kTheta13)));
+  }
+
+  // Guardrail: ||exp(A)||_1 <= e^{||A||_1} up to rounding, so a result that
+  // is non-finite or blows past that bound (compared in log space to avoid
+  // overflow) means the Padé evaluation or the squaring phase lost the
+  // value. Retry under tightened scaling -- more squarings shrink the
+  // argument the rational approximant actually sees -- before giving up.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const Matrix result = expm_pade13(a, squarings + 4 * attempt);
+    if (is_finite(result) &&
+        std::log(std::max(norm_1(result), 1e-300)) <= nrm + 10.0) {
+      return result;
+    }
+  }
+  throw NonFiniteError(
+      "expm: result non-finite or norm-bound violated even after retries "
+      "under tightened scaling");
 }
 
 }  // namespace performa::linalg

@@ -40,11 +40,18 @@ class Lu {
   /// Smallest |pivot| encountered; a crude singularity indicator.
   double min_pivot() const noexcept { return min_pivot_; }
 
+  /// Cheap 1-norm condition estimate kappa_1(A) ~ ||A||_1 ||A^{-1}||_1,
+  /// with ||A^{-1}||_1 lower-bounded by a few Hager '84 ascent sweeps
+  /// (two O(n^2) solves each). Accurate to the order of magnitude, which
+  /// is what the solver guardrails need to flag ill-conditioned stages.
+  double condition_estimate() const;
+
  private:
   Matrix lu_;                     // combined L (unit lower) and U factors
   std::vector<std::size_t> piv_;  // row permutation
   int pivot_sign_ = 1;
   double min_pivot_ = 0.0;
+  double norm1_ = 0.0;            // ||A||_1 of the unfactored input
 };
 
 /// One-shot helpers.

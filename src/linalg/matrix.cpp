@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <ostream>
+#include <string>
 
 namespace performa::linalg {
 
@@ -241,6 +242,40 @@ double max_abs_diff(const Vector& a, const Vector& b) {
   for (std::size_t i = 0; i < a.size(); ++i)
     best = std::max(best, std::abs(a[i] - b[i]));
   return best;
+}
+
+bool is_finite(const Matrix& m) noexcept {
+  for (double x : m.data()) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool is_finite(const Vector& v) noexcept {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+void check_finite(const Matrix& m, const char* context) {
+  if (!is_finite(m)) {
+    throw NonFiniteError(std::string(context) +
+                         ": matrix contains a NaN or infinity");
+  }
+}
+
+void check_finite(const Vector& v, const char* context) {
+  if (!is_finite(v)) {
+    throw NonFiniteError(std::string(context) +
+                         ": vector contains a NaN or infinity");
+  }
+}
+
+void check_finite(double x, const char* context) {
+  if (!std::isfinite(x)) {
+    throw NonFiniteError(std::string(context) + ": value is NaN or infinite");
+  }
 }
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m) {

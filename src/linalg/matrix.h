@@ -137,6 +137,20 @@ double norm_1(const Vector& v) noexcept;
 double max_abs_diff(const Matrix& a, const Matrix& b);
 double max_abs_diff(const Vector& a, const Vector& b);
 
+// --- non-finite sentinels -------------------------------------------------
+
+/// True iff every entry is finite (no NaN, no +/-inf).
+bool is_finite(const Matrix& m) noexcept;
+bool is_finite(const Vector& v) noexcept;
+
+/// Stage-boundary sentinel: throws NonFiniteError naming `context` when a
+/// NaN/inf is present. Call wherever a value produced by one subsystem is
+/// handed to another, so corruption is caught at the hand-off instead of
+/// surfacing as a mysterious result many layers later.
+void check_finite(const Matrix& m, const char* context);
+void check_finite(const Vector& v, const char* context);
+void check_finite(double x, const char* context);
+
 /// Pretty-printer used in error paths and debugging.
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
 

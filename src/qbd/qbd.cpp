@@ -22,6 +22,13 @@ void QbdBlocks::validate() const {
   check_shape(a1, "A1");
   check_shape(a2, "A2");
 
+  // Sentinel at the model -> solver boundary: a NaN in a block would
+  // otherwise survive the sign/row-sum checks in surprising ways and
+  // poison every iteration downstream.
+  for (const Matrix* blk : {&b00, &b01, &b10, &a0, &a1, &a2}) {
+    linalg::check_finite(*blk, "QbdBlocks");
+  }
+
   // Off-level blocks must be non-negative (they are transition rates).
   auto check_nonneg = [](const Matrix& blk, const char* name) {
     for (double x : blk.data()) {

@@ -1,6 +1,8 @@
 #include "qbd/rsolver.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "linalg/lu.h"
@@ -13,28 +15,88 @@ double residual_norm(const QbdBlocks& b, const Matrix& r) {
   return linalg::norm_inf(b.a0 + r * b.a1 + r * r * b.a2);
 }
 
-RSolveResult solve_r_successive(const QbdBlocks& b, const SolverOptions& opts) {
-  const std::size_t m = b.phase_dim();
-  const linalg::Lu neg_a1(-1.0 * b.a1);
+// One fallback-chain attempt: the candidate R (meaningful only when the
+// attempt converged), its bookkeeping record, and the condition estimate
+// of the attempt's final linear solve.
+struct Candidate {
+  Matrix r;
+  SolveAttempt attempt;
+  double condition = 0.0;
+};
 
-  Matrix r = Matrix::zeros(m, m);
-  for (unsigned it = 1; it <= opts.max_iterations; ++it) {
-    // R_{k+1} (-A1) = A0 + R_k^2 A2
-    const Matrix next = neg_a1.solve_left(b.a0 + r * r * b.a2);
-    const double diff = linalg::max_abs_diff(next, r);
-    r = next;
-    if (diff < opts.tolerance) {
-      return RSolveResult{r, it, residual_norm(b, r)};
-    }
+// Both linearly convergent tiers (successive substitution and the
+// one-sided Newton scheme) contract the update by ~sp(R) per step, and
+// near a blow-up point sp(R) -> 1. Every kRateWindow iterations the
+// observed contraction rate is extrapolated; when even the remaining
+// budget cannot reach the tolerance, the attempt bails out right away --
+// the honest "this tier cannot make it" costs dozens of iterations
+// instead of tens of thousands, and the fallback chain moves on.
+constexpr unsigned kRateWindow = 64;
+
+// Returns a failure note when the extrapolation says "hopeless", nullptr
+// to keep iterating. `buf` backs the formatted note.
+const char* projected_miss(double diff, double window_diff, double tol,
+                           unsigned it, unsigned budget, char* buf,
+                           std::size_t buf_size) {
+  if (diff >= window_diff) return "update stagnated";
+  const double rate = std::pow(diff / window_diff, 1.0 / kRateWindow);
+  const double needed = std::log(tol / diff) / std::log(rate);
+  if (needed > static_cast<double>(budget - it)) {
+    std::snprintf(buf, buf_size,
+                  "contraction rate ~%.6f projects %.3g more iterations, "
+                  "beyond the %u budget",
+                  rate, needed, budget);
+    return buf;
   }
-  throw NumericalError(
-      "solve_r: successive substitution did not converge (queue unstable or "
-      "max_iterations too small)");
+  return nullptr;
 }
 
-}  // namespace
+Candidate attempt_successive(const QbdBlocks& b, double tol, unsigned budget) {
+  Candidate c;
+  c.attempt.algorithm = SolveAlgorithm::kSuccessiveSubstitution;
 
-Matrix solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
+  const std::size_t m = b.phase_dim();
+  const linalg::Lu neg_a1(-1.0 * b.a1);
+  c.condition = neg_a1.condition_estimate();
+
+  Matrix r = Matrix::zeros(m, m);
+  double window_diff = std::numeric_limits<double>::infinity();
+  char note[160];
+  for (unsigned it = 1; it <= budget; ++it) {
+    // R_{k+1} (-A1) = A0 + R_k^2 A2
+    const Matrix next = neg_a1.solve_left(b.a0 + r * r * b.a2);
+    c.attempt.iterations = it;
+    if (!linalg::is_finite(next)) {
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.note = "iterate became non-finite";
+      return c;
+    }
+    const double diff = linalg::max_abs_diff(next, r);
+    r = next;
+    if (diff < tol) {
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.converged = true;
+      c.r = std::move(r);
+      return c;
+    }
+    if (it % kRateWindow == 0) {
+      if (const char* why = projected_miss(diff, window_diff, tol, it, budget,
+                                           note, sizeof note)) {
+        c.attempt.defect = residual_norm(b, r);
+        c.attempt.note = why;
+        return c;
+      }
+      window_diff = diff;
+    }
+  }
+  c.attempt.defect = residual_norm(b, r);
+  c.attempt.note = "iteration budget exhausted";
+  return c;
+}
+
+// Logarithmic reduction for G; never throws on non-convergence (the
+// caller decides whether that is fatal).
+GSolveResult logred_impl(const QbdBlocks& b, double tol, unsigned budget) {
   const std::size_t m = b.phase_dim();
   const Matrix eye = Matrix::identity(m);
   const linalg::Lu neg_a1(-1.0 * b.a1);
@@ -42,7 +104,8 @@ Matrix solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
   // H = (-A1)^{-1} A0, L = (-A1)^{-1} A2.
   Matrix h = neg_a1.solve(b.a0);
   Matrix l = neg_a1.solve(b.a2);
-  Matrix g = l;
+  GSolveResult out;
+  out.g = l;
   Matrix t = h;
 
   const Vector e = linalg::ones(m);
@@ -51,7 +114,7 @@ Matrix solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
   // the caller's cap to bind first. The defect |1 - G e| bottoms out at a
   // model-dependent roundoff floor that can sit above a very tight
   // tolerance, so stagnation at a small defect is also accepted.
-  const unsigned cap = std::min<unsigned>(opts.max_iterations, 64);
+  const unsigned cap = std::min<unsigned>(budget, 64);
   double best_defect = std::numeric_limits<double>::infinity();
   unsigned stagnant = 0;
   for (unsigned it = 1; it <= cap; ++it) {
@@ -59,50 +122,233 @@ Matrix solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
     const linalg::Lu eye_minus_u(eye - u);
     h = eye_minus_u.solve(h * h);
     l = eye_minus_u.solve(l * l);
-    g += t * l;
+    out.g += t * l;
     t = t * h;
+    out.iterations = it;
+    if (!linalg::is_finite(out.g)) {
+      out.defect = best_defect;
+      return out;
+    }
 
     double defect = 0.0;
-    const Vector ge = g * e;
+    const Vector ge = out.g * e;
     for (std::size_t i = 0; i < m; ++i)
       defect = std::max(defect, std::abs(1.0 - ge[i]));
-    if (defect < opts.tolerance) return g;
+    best_defect = std::min(best_defect, defect);
+    out.defect = best_defect;
+    if (defect < tol) {
+      out.converged = true;
+      return out;
+    }
     // The next update to G is bounded by ||T|| ||L||; once T has decayed
     // to roundoff the iteration cannot improve further -- the remaining
     // defect is accumulated floating-point error (grows toward the
     // stability boundary), not missing probability mass.
-    if (linalg::norm_inf(t) < 1e-14 && defect < 1e-5) return g;
-    if (defect < 0.5 * best_defect) {
-      best_defect = defect;
+    if (linalg::norm_inf(t) < 1e-14 && defect < 1e-5) {
+      out.converged = true;
+      return out;
+    }
+    if (defect <= best_defect) {
       stagnant = 0;
     } else if (++stagnant >= 3 && best_defect < 1e-7) {
-      return g;  // converged to the roundoff floor
+      out.converged = true;  // converged to the roundoff floor
+      return out;
     }
   }
-  throw NumericalError(
-      "solve_g_logred: logarithmic reduction did not converge; the QBD is "
-      "likely not positive recurrent (utilization >= 1)");
+  return out;
+}
+
+Candidate attempt_logred(const QbdBlocks& b, double tol, unsigned budget) {
+  Candidate c;
+  c.attempt.algorithm = SolveAlgorithm::kLogarithmicReduction;
+
+  const GSolveResult g = logred_impl(b, tol, budget);
+  c.attempt.iterations = g.iterations;
+  if (!g.converged) {
+    c.attempt.defect = g.defect;
+    char note[96];
+    std::snprintf(note, sizeof note,
+                  "G defect stagnated at %.3e (tolerance %.1e)", g.defect,
+                  tol);
+    c.attempt.note = note;
+    return c;
+  }
+  // R = A0 * (-(A1 + A0 G))^{-1}
+  // Stability was established via the drift condition before this attempt
+  // ran; sp(R) < 1 is then guaranteed analytically (power-iteration
+  // estimates of it can overshoot 1 by rounding when the decay rate is
+  // extremely close to 1, e.g. TPT repair at rho ~ 0.95, so it must not
+  // be used as a gate here).
+  const linalg::Lu shifted(-1.0 * (b.a1 + b.a0 * g.g));
+  c.condition = shifted.condition_estimate();
+  Matrix r = shifted.solve_left(b.a0);
+  if (!linalg::is_finite(r)) {
+    c.attempt.defect = g.defect;
+    c.attempt.note = "R recovery from G produced a non-finite matrix";
+    return c;
+  }
+  c.attempt.defect = residual_norm(b, r);
+  c.attempt.converged = true;
+  c.r = std::move(r);
+  return c;
+}
+
+Candidate attempt_newton_shifted(const QbdBlocks& b, double tol,
+                                 unsigned budget) {
+  Candidate c;
+  c.attempt.algorithm = SolveAlgorithm::kNewtonShifted;
+
+  const std::size_t m = b.phase_dim();
+  Matrix r = Matrix::zeros(m, m);
+  double window_diff = std::numeric_limits<double>::infinity();
+  char note[160];
+  for (unsigned it = 1; it <= budget; ++it) {
+    // One-sided Newton step: freeze the quadratic term's leading factor at
+    // the current iterate, giving R_{k+1} = A0 * (-(A1 + R_k A2))^{-1}.
+    // The local block is re-shifted by the current down-drift R_k A2 every
+    // step, so each iteration solves against a fresh, better-conditioned
+    // matrix than the bare -A1 of successive substitution; the iteration
+    // increases monotonically from 0 to the minimal solution.
+    const linalg::Lu shifted(-1.0 * (b.a1 + r * b.a2));
+    const Matrix next = shifted.solve_left(b.a0);
+    c.attempt.iterations = it;
+    if (!linalg::is_finite(next)) {
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.note = "iterate became non-finite";
+      return c;
+    }
+    const double diff = linalg::max_abs_diff(next, r);
+    r = next;
+    if (diff < tol) {
+      c.condition = shifted.condition_estimate();
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.converged = true;
+      c.r = std::move(r);
+      return c;
+    }
+    if (it % kRateWindow == 0) {
+      if (const char* why = projected_miss(diff, window_diff, tol, it, budget,
+                                           note, sizeof note)) {
+        c.attempt.defect = residual_norm(b, r);
+        c.attempt.note = why;
+        return c;
+      }
+      window_diff = diff;
+    }
+  }
+  c.attempt.defect = residual_norm(b, r);
+  c.attempt.note = "iteration budget exhausted";
+  return c;
+}
+
+SolveAlgorithm tier_of(RAlgorithm a) noexcept {
+  switch (a) {
+    case RAlgorithm::kSuccessiveSubstitution:
+      return SolveAlgorithm::kSuccessiveSubstitution;
+    case RAlgorithm::kNewtonShifted:
+      return SolveAlgorithm::kNewtonShifted;
+    case RAlgorithm::kLogarithmicReduction:
+      break;
+  }
+  return SolveAlgorithm::kLogarithmicReduction;
+}
+
+Candidate run_tier(SolveAlgorithm tier, const QbdBlocks& b,
+                   const SolverOptions& opts, bool is_fallback) {
+  // Fallback attempts run on a bounded budget: they exist to rescue a
+  // stalled primary, not to burn the full cap a second time.
+  const unsigned max_it = opts.max_iterations;
+  switch (tier) {
+    case SolveAlgorithm::kSuccessiveSubstitution:
+      return attempt_successive(b, opts.tolerance,
+                                is_fallback ? std::min(max_it, 5000u)
+                                            : max_it);
+    case SolveAlgorithm::kLogarithmicReduction:
+      return attempt_logred(b, opts.tolerance, max_it);
+    case SolveAlgorithm::kNewtonShifted:
+      return attempt_newton_shifted(
+          b, opts.tolerance, is_fallback ? std::min(max_it, 10000u) : max_it);
+  }
+  throw NumericalError("solve_r: unknown algorithm tier");
+}
+
+}  // namespace
+
+GSolveResult solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
+  GSolveResult g = logred_impl(b, opts.tolerance, opts.max_iterations);
+  if (!g.converged) {
+    char msg[256];
+    std::snprintf(msg, sizeof msg,
+                  "solve_g_logred: logarithmic reduction did not converge "
+                  "(achieved defect %.3e after %u doublings); the QBD is "
+                  "likely not positive recurrent (utilization >= 1)",
+                  g.defect, g.iterations);
+    throw NumericalError(msg);
+  }
+  return g;
 }
 
 RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
   blocks.validate();
-  if (utilization(blocks) >= 1.0) {
-    throw NumericalError(
-        "solve_r: mean drift is non-negative (utilization >= 1), the queue "
-        "has no stationary distribution");
+
+  SolveReport report;
+  // Stability pre-check: the mean-drift condition on the aggregated phase
+  // process costs one GTH solve and rejects hopeless configurations
+  // before any iteration budget is spent.
+  report.utilization = utilization(blocks);
+  if (report.utilization >= 1.0) {
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "solve_r: mean drift is non-negative (utilization %.6f "
+                  ">= 1), the queue has no stationary distribution",
+                  report.utilization);
+    throw UnstableModel(msg, report.utilization);
   }
-  if (opts.algorithm == RAlgorithm::kSuccessiveSubstitution) {
-    return solve_r_successive(blocks, opts);
+
+  // Escalation chain: the preferred algorithm first, then -- if fallbacks
+  // are enabled -- the remaining tiers, most robust first.
+  std::vector<SolveAlgorithm> chain{tier_of(opts.algorithm)};
+  if (opts.enable_fallbacks) {
+    for (SolveAlgorithm tier : {SolveAlgorithm::kNewtonShifted,
+                                SolveAlgorithm::kLogarithmicReduction,
+                                SolveAlgorithm::kSuccessiveSubstitution}) {
+      if (std::find(chain.begin(), chain.end(), tier) == chain.end()) {
+        chain.push_back(tier);
+      }
+    }
   }
-  const Matrix g = solve_g_logred(blocks, opts);
-  // R = A0 * (-(A1 + A0 G))^{-1}
-  // Stability was established via the drift condition above; sp(R) < 1 is
-  // then guaranteed analytically (power-iteration estimates of it can
-  // overshoot 1 by rounding when the decay rate is extremely close to 1,
-  // e.g. TPT repair at rho ~ 0.95, so it must not be used as a gate here).
-  const Matrix r =
-      linalg::Lu(-1.0 * (blocks.a1 + blocks.a0 * g)).solve_left(blocks.a0);
-  return RSolveResult{r, 0, residual_norm(blocks, r)};
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    Candidate c;
+    try {
+      c = run_tier(chain[i], blocks, opts, /*is_fallback=*/i > 0);
+    } catch (const NumericalError& e) {
+      c.attempt.algorithm = chain[i];
+      c.attempt.note = e.what();
+    }
+    report.attempts.push_back(c.attempt);
+    if (!c.attempt.converged) continue;
+
+    report.converged = true;
+    report.winner = c.attempt.algorithm;
+    report.iterations = c.attempt.iterations;
+    report.final_defect = c.attempt.defect;
+    report.condition = c.condition;
+    report.spectral_radius = spectral_radius(c.r, 1e-10, 5000);
+
+    RSolveResult out;
+    out.r = std::move(c.r);
+    out.iterations = report.iterations;
+    out.residual = report.final_defect;
+    out.report = std::move(report);
+    return out;
+  }
+
+  throw SolverFailure(
+      opts.enable_fallbacks
+          ? "solve_r: every algorithm in the fallback chain failed"
+          : "solve_r: the selected algorithm failed (fallbacks disabled)",
+      report);
 }
 
 double spectral_radius(const Matrix& m, double tol, unsigned max_iter) {

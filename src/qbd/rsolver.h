@@ -3,13 +3,23 @@
 //   R:  A0 + R A1 + R^2 A2 = 0   (rate matrix, Neuts)
 //   G:  A2 + A1 G + A0 G^2 = 0   (first-passage matrix)
 //
-// Two algorithms are provided: classic successive substitution (linear
-// convergence, trivially correct -- kept for cross-validation and as the
-// ablation baseline) and Latouche-Ramaswami logarithmic reduction
-// (quadratic convergence, the production default).
+// Three algorithms are provided, forming the tiers of the fallback chain:
+// classic successive substitution (linear convergence, trivially correct --
+// kept for cross-validation and as the ablation baseline),
+// Latouche-Ramaswami logarithmic reduction (quadratic convergence, the
+// production default), and a one-sided Newton scheme with a per-step
+// shifted local block (linear but fast in practice, robust where the
+// logarithmic-reduction defect stagnates near a blow-up point).
+//
+// solve_r() runs a guarded solve: stability pre-check first (typed
+// UnstableModel error before any iteration budget is spent), then the
+// preferred algorithm, then the remaining tiers as fallbacks; every
+// attempt is recorded in a SolveReport, and exhausting the chain throws
+// SolverFailure carrying that report.
 #pragma once
 
 #include "qbd/qbd.h"
+#include "qbd/solve_report.h"
 
 namespace performa::qbd {
 
@@ -17,29 +27,48 @@ namespace performa::qbd {
 enum class RAlgorithm {
   kLogarithmicReduction,    ///< default: quadratically convergent
   kSuccessiveSubstitution,  ///< baseline: linearly convergent
+  kNewtonShifted,           ///< one-sided Newton, shifted local block
 };
 
 /// Options shared by the iterative solvers.
 struct SolverOptions {
   double tolerance = 1e-13;      ///< infinity-norm stopping threshold
-  unsigned max_iterations = 100000;  ///< hard cap; NumericalError beyond
+  unsigned max_iterations = 100000;  ///< hard cap per attempt
   RAlgorithm algorithm = RAlgorithm::kLogarithmicReduction;
+  /// When the preferred algorithm fails, escalate through the remaining
+  /// tiers instead of throwing immediately. Disable to reproduce the
+  /// single-algorithm behaviour (ablation benches).
+  bool enable_fallbacks = true;
 };
 
 /// Result of an R computation with convergence diagnostics.
 struct RSolveResult {
   Matrix r;                ///< the minimal non-negative solution R
-  unsigned iterations = 0; ///< iterations used
+  unsigned iterations = 0; ///< iterations used by the winning attempt
   double residual = 0.0;   ///< ||A0 + R A1 + R^2 A2||_inf at return
+  SolveReport report;      ///< full guardrail diagnostics
 };
 
-/// Compute R by the selected algorithm. The QBD must be irreducible and
-/// stable; otherwise NumericalError is thrown (no convergence / sp(R)>=1).
+/// Result of a G computation (logarithmic reduction).
+struct GSolveResult {
+  Matrix g;                 ///< first-passage matrix (stochastic iff stable)
+  unsigned iterations = 0;  ///< doubling steps used
+  double defect = 0.0;      ///< max_i |1 - (G e)_i| actually achieved
+  bool converged = false;
+};
+
+/// Compute R by the selected algorithm, with guarded fallbacks (see file
+/// comment). The QBD must be irreducible and stable; an unstable model
+/// throws UnstableModel from the drift pre-check, and a solve that
+/// exhausts the fallback chain throws SolverFailure with the report.
 RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts = {});
 
 /// Compute G with logarithmic reduction (used internally by solve_r and
 /// exposed for tests: G is stochastic iff the chain is recurrent).
-Matrix solve_g_logred(const QbdBlocks& blocks, const SolverOptions& opts = {});
+/// Throws NumericalError -- with the achieved defect in the message --
+/// when the iteration fails to converge.
+GSolveResult solve_g_logred(const QbdBlocks& blocks,
+                            const SolverOptions& opts = {});
 
 /// Spectral radius estimate of a non-negative matrix via power iteration;
 /// for R this is the caudal characteristic (geometric decay rate) of the

@@ -55,14 +55,17 @@ void solve_boundary(const QbdBlocks& b, const Matrix& r,
 }  // namespace
 
 QbdSolution::QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts) {
-  const RSolveResult rs = solve_r(blocks, opts);
-  r_ = rs.r;
+  RSolveResult rs = solve_r(blocks, opts);
+  r_ = std::move(rs.r);
   r_iterations_ = rs.iterations;
   r_residual_ = rs.residual;
+  report_ = std::move(rs.report);
 
   const std::size_t m = blocks.phase_dim();
   i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
   solve_boundary(blocks, r_, i_minus_r_inv_, pi0_, pi1_);
+  linalg::check_finite(pi0_, "QbdSolution: boundary vector pi0");
+  linalg::check_finite(pi1_, "QbdSolution: boundary vector pi1");
 
   // The boundary solve can produce tiny negative round-off; clip and
   // renormalize so downstream probabilities stay in range.

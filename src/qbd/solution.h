@@ -57,6 +57,10 @@ class QbdSolution {
   unsigned r_iterations() const noexcept { return r_iterations_; }
   double r_residual() const noexcept { return r_residual_; }
 
+  /// Full guardrail diagnostics: fallback-chain attempts, final defect,
+  /// spectral-radius and condition estimates, drift utilization.
+  const SolveReport& report() const noexcept { return report_; }
+
  private:
   Matrix r_;
   Matrix i_minus_r_inv_;  // (I - R)^{-1}, reused by every metric
@@ -64,6 +68,7 @@ class QbdSolution {
   Vector pi1_;
   unsigned r_iterations_ = 0;
   double r_residual_ = 0.0;
+  SolveReport report_;
 };
 
 /// One-line helper for the common case: mean queue length of an

@@ -1,0 +1,42 @@
+#include "qbd/solve_report.h"
+
+#include <cstdio>
+
+namespace performa::qbd {
+
+const char* to_string(SolveAlgorithm a) noexcept {
+  switch (a) {
+    case SolveAlgorithm::kSuccessiveSubstitution:
+      return "successive-substitution";
+    case SolveAlgorithm::kLogarithmicReduction:
+      return "logarithmic-reduction";
+    case SolveAlgorithm::kNewtonShifted:
+      return "newton-shifted";
+  }
+  return "?";
+}
+
+std::string SolveReport::to_string() const {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "SolveReport: %s, winner=%s, iterations=%u\n",
+                converged ? "converged" : "FAILED", qbd::to_string(winner),
+                iterations);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  defect=%.3e  sp(R)=%.6f  cond~%.3e  rho=%.6f\n",
+                final_defect, spectral_radius, condition, utilization);
+  out += line;
+  for (const SolveAttempt& a : attempts) {
+    std::snprintf(line, sizeof line, "  attempt %-24s it=%-6u defect=%.3e %s%s",
+                  qbd::to_string(a.algorithm), a.iterations, a.defect,
+                  a.converged ? "ok" : "failed", a.note.empty() ? "" : ": ");
+    out += line;
+    out += a.note;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace performa::qbd

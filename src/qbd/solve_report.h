@@ -1,0 +1,76 @@
+// Solver diagnostics threaded through the matrix-geometric machinery.
+//
+// Every R/G solve produces a SolveReport describing what was attempted,
+// which algorithm won, and how good the result is. On failure the report
+// travels inside a SolverFailure exception so callers (and the perfctl
+// CLI) can print *why* a solve died instead of a bare one-line message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/errors.h"
+
+namespace performa::qbd {
+
+/// Algorithms the tiered R/G solver can attempt, in escalation order.
+enum class SolveAlgorithm {
+  kSuccessiveSubstitution,  ///< linear convergence, bulletproof
+  kLogarithmicReduction,    ///< quadratic convergence (Latouche-Ramaswami)
+  kNewtonShifted,           ///< one-sided Newton with per-step shifted block
+};
+
+const char* to_string(SolveAlgorithm a) noexcept;
+
+/// One entry in the fallback chain: what was tried and how it ended.
+struct SolveAttempt {
+  SolveAlgorithm algorithm = SolveAlgorithm::kSuccessiveSubstitution;
+  unsigned iterations = 0;  ///< iterations consumed by this attempt
+  double defect = 0.0;      ///< best defect/residual the attempt reached
+  bool converged = false;
+  std::string note;         ///< failure reason when !converged
+};
+
+/// Full diagnostics of one R-matrix solve.
+struct SolveReport {
+  bool converged = false;
+  SolveAlgorithm winner = SolveAlgorithm::kLogarithmicReduction;
+  unsigned iterations = 0;       ///< iterations of the winning attempt
+  double final_defect = 0.0;     ///< ||A0 + R A1 + R^2 A2||_inf at return
+  double spectral_radius = 0.0;  ///< sp(R) estimate (caudal characteristic)
+  double condition = 0.0;        ///< kappa_1 estimate of the final linear solve
+  double utilization = 0.0;      ///< mean-drift rho from the pre-check
+  std::vector<SolveAttempt> attempts;
+
+  /// Multi-line human-readable rendering (perfctl --report).
+  std::string to_string() const;
+};
+
+/// Solve failed after exhausting the fallback chain; carries the report.
+class SolverFailure : public NumericalError {
+ public:
+  SolverFailure(const std::string& what, SolveReport report)
+      : NumericalError(what + "\n" + report.to_string()),
+        report_(std::move(report)) {}
+
+  const SolveReport& report() const noexcept { return report_; }
+
+ private:
+  SolveReport report_;
+};
+
+/// Stability pre-check rejected the model: mean drift is non-negative
+/// (utilization >= 1), so no stationary solution exists. Thrown *before*
+/// any iteration budget is spent.
+class UnstableModel : public NumericalError {
+ public:
+  UnstableModel(const std::string& what, double utilization)
+      : NumericalError(what), utilization_(utilization) {}
+
+  double utilization() const noexcept { return utilization_; }
+
+ private:
+  double utilization_;
+};
+
+}  // namespace performa::qbd

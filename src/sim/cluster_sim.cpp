@@ -1,5 +1,8 @@
 #include "sim/cluster_sim.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <optional>
@@ -29,6 +32,10 @@ struct Server {
   }
 };
 
+// Kinds of events the loop races; faults are first-class events so
+// injection happens at exact simulated times (deterministic per seed).
+enum class Event { kArrival, kToggle, kCompletion, kCrash, kBurst };
+
 }  // namespace
 
 const char* to_string(FailureStrategy s) noexcept {
@@ -57,22 +64,56 @@ void ClusterSimConfig::validate() const {
                        static_cast<bool>(task_work),
                    "ClusterSimConfig: samplers must be set");
   PERFORMA_EXPECTS(cycles > 0, "ClusterSimConfig: cycles > 0");
+  faults.validate();
 }
 
 ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
   config.validate();
   Rng rng(config.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   const unsigned n = config.n_servers;
   const bool crash = config.delta == 0.0;
 
+  // Sampler outputs cross a stage boundary here: a NaN or negative
+  // duration would silently corrupt the event clock, so reject it with a
+  // typed error at the draw site. (+inf is allowed for task work only --
+  // that is the documented infinite-work degenerate scenario.)
+  auto draw_duration = [&rng](const Sampler& s, const char* what) {
+    const double v = s(rng);
+    if (std::isnan(v) || v < 0.0 || v == kInf) {
+      throw NonFiniteError(
+          std::string("simulate_cluster: sampler produced an invalid "
+                      "duration for ") +
+          what);
+    }
+    return v;
+  };
+  auto draw_work = [&rng, &config]() {
+    const double v = config.task_work(rng);
+    if (std::isnan(v) || v < 0.0) {
+      throw NonFiniteError(
+          "simulate_cluster: task_work sampler produced NaN or a negative "
+          "amount of work");
+    }
+    return v;
+  };
+  auto draw_repair = [&](void) {
+    if (config.faults.zero_length_repairs) return 0.0;
+    return draw_duration(config.down, "repair (down) duration");
+  };
+
   std::vector<Server> servers(n);
-  for (Server& s : servers) s.next_toggle = config.up(rng);
+  for (Server& s : servers) {
+    s.next_toggle = draw_duration(config.up, "uptime (TTF)");
+  }
 
   std::deque<Task> queue;
   double now = 0.0;
-  auto draw_interarrival = [&config, &rng]() {
-    if (config.interarrival) return config.interarrival(rng);
+  auto draw_interarrival = [&]() {
+    if (config.interarrival) {
+      return draw_duration(config.interarrival, "interarrival time");
+    }
     return std::exponential_distribution<double>(config.lambda)(rng);
   };
   double next_arrival = draw_interarrival();
@@ -84,6 +125,16 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
   std::size_t cycles_done = 0;  // completed DOWN->UP transitions
   bool warm = config.warmup_cycles == 0;
   double warm_start = 0.0;
+
+  // Scheduled fault events, sorted by time and consumed front-to-back.
+  std::vector<CommonModeCrash> crashes = config.faults.crashes;
+  std::vector<ArrivalBurst> bursts = config.faults.bursts;
+  std::sort(crashes.begin(), crashes.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  std::sort(bursts.begin(), bursts.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  std::size_t crash_next = 0;
+  std::size_t burst_next = 0;
 
   // A server can serve iff UP, or DOWN with nonzero degraded speed.
   auto can_serve = [&](const Server& s) { return s.up || !crash; };
@@ -117,124 +168,241 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
     if (!s.task) return kInf;
     const double speed = s.speed(config.nu_p, config.delta);
     if (speed <= 0.0) return kInf;
+    if (s.task->remaining == kInf) return kInf;  // infinite-work scenario
     return s.last_update + s.task->remaining / speed;
+  };
+
+  // UP -> DOWN transition of one server, shared by the renewal process
+  // and by injected common-mode crashes.
+  auto fail_server = [&](Server& s) {
+    advance(s);
+    s.up = false;
+    s.next_toggle = now + draw_repair();
+    if (s.task && crash) {
+      Task t = *s.task;
+      s.task.reset();
+      switch (config.strategy) {
+        case FailureStrategy::kDiscard:
+          if (warm) ++result.discarded;
+          break;
+        case FailureStrategy::kRestartFront:
+          t.remaining = t.total;
+          queue.push_front(t);
+          break;
+        case FailureStrategy::kRestartBack:
+          t.remaining = t.total;
+          queue.push_back(t);
+          break;
+        case FailureStrategy::kResumeFront:
+          queue.push_front(t);
+          break;
+        case FailureStrategy::kResumeBack:
+          queue.push_back(t);
+          break;
+      }
+    }
+    // delta > 0: the task (if any) keeps running at degraded speed.
+  };
+
+  // Dispatch a freshly arrived task: prefer an idle UP server; fall back
+  // to an idle degraded server; otherwise queue.
+  auto dispatch = [&](const Task& t) {
+    Server* target = nullptr;
+    for (Server& s : servers) {
+      if (!s.task && s.up) {
+        target = &s;
+        break;
+      }
+    }
+    if (!target && !crash) {
+      for (Server& s : servers) {
+        if (!s.task && !s.up) {
+          target = &s;
+          break;
+        }
+      }
+    }
+    if (target) {
+      target->task = t;
+      target->last_update = now;
+    } else {
+      queue.push_back(t);
+    }
+  };
+
+  // Degenerate scenario: an infinite-work task pins one server forever
+  // (its completion time is +inf by construction).
+  if (config.faults.infinite_first_task) {
+    Task t;
+    t.remaining = t.total = kInf;
+    t.arrival = 0.0;
+    ++result.injected_arrivals;
+    dispatch(t);
+  }
+
+  // Watchdog: trips on any exhausted budget. The wall clock is sampled
+  // every 1024 events to keep the steady_clock reads off the hot path.
+  auto budget_tripped = [&]() -> const char* {
+    const SimBudget& b = config.budget;
+    if (b.max_events != 0 && result.events >= b.max_events) {
+      return "event budget exhausted";
+    }
+    if (b.max_sim_time != 0.0 && now >= b.max_sim_time) {
+      return "simulated-time budget exhausted";
+    }
+    if (b.max_wall_seconds != 0.0 && result.events % 1024 == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start;
+      if (elapsed.count() >= b.max_wall_seconds) {
+        return "wall-clock budget exhausted";
+      }
+    }
+    return nullptr;
   };
 
   const std::size_t total_cycles = config.warmup_cycles + config.cycles;
   while (cycles_done < total_cycles) {
-    // Next event: arrival, earliest toggle, earliest completion.
+    if (const char* reason = budget_tripped()) {
+      result.degraded = true;
+      result.degraded_reason = reason;
+      break;
+    }
+    ++result.events;
+
+    // Next event: arrival, earliest toggle, earliest completion, or a
+    // scheduled fault. Ties resolve in favour of the fault events (they
+    // are checked last with <=-style priority via strict < on t_next),
+    // i.e. a crash scheduled exactly at an arrival instant fires first
+    // only if strictly earlier; simultaneous events execute in the fixed
+    // order the selection below encodes, keeping runs reproducible.
     double t_next = next_arrival;
-    int toggle_idx = -1;
-    int complete_idx = -1;
+    Event ev = Event::kArrival;
+    int idx = -1;
     for (unsigned i = 0; i < n; ++i) {
       if (servers[i].next_toggle < t_next) {
         t_next = servers[i].next_toggle;
-        toggle_idx = static_cast<int>(i);
-        complete_idx = -1;
+        ev = Event::kToggle;
+        idx = static_cast<int>(i);
       }
       const double tc = completion_time(servers[i]);
       if (tc < t_next) {
         t_next = tc;
-        complete_idx = static_cast<int>(i);
-        toggle_idx = -1;
+        ev = Event::kCompletion;
+        idx = static_cast<int>(i);
+      }
+    }
+    if (crash_next < crashes.size()) {
+      // A fault scheduled in the past (before the loop advanced to it)
+      // fires immediately.
+      const double tf = std::max(crashes[crash_next].time, now);
+      if (tf < t_next) {
+        t_next = tf;
+        ev = Event::kCrash;
+      }
+    }
+    if (burst_next < bursts.size()) {
+      const double tf = std::max(bursts[burst_next].time, now);
+      if (tf < t_next) {
+        t_next = tf;
+        ev = Event::kBurst;
       }
     }
 
     if (warm) stats.add(level(), t_next - now);
     now = t_next;
 
-    if (complete_idx >= 0) {
-      Server& s = servers[static_cast<std::size_t>(complete_idx)];
-      advance(s);
-      if (warm) {
-        ++result.completed;
-        result.system_time.add(now - s.task->arrival);
-        result.system_time_hist.add(now - s.task->arrival);
-      }
-      s.task.reset();
-      start_next(s);
-    } else if (toggle_idx >= 0) {
-      Server& s = servers[static_cast<std::size_t>(toggle_idx)];
-      advance(s);
-      if (s.up) {
-        // UP -> DOWN.
-        s.up = false;
-        s.next_toggle = now + config.down(rng);
-        if (s.task && crash) {
-          Task t = *s.task;
-          s.task.reset();
-          switch (config.strategy) {
-            case FailureStrategy::kDiscard:
-              if (warm) ++result.discarded;
-              break;
-            case FailureStrategy::kRestartFront:
-              t.remaining = t.total;
-              queue.push_front(t);
-              break;
-            case FailureStrategy::kRestartBack:
-              t.remaining = t.total;
-              queue.push_back(t);
-              break;
-            case FailureStrategy::kResumeFront:
-              queue.push_front(t);
-              break;
-            case FailureStrategy::kResumeBack:
-              queue.push_back(t);
-              break;
-          }
+    switch (ev) {
+      case Event::kCompletion: {
+        Server& s = servers[static_cast<std::size_t>(idx)];
+        advance(s);
+        if (warm) {
+          ++result.completed;
+          result.system_time.add(now - s.task->arrival);
+          result.system_time_hist.add(now - s.task->arrival);
         }
-        // delta > 0: the task (if any) keeps running at degraded speed.
-      } else {
-        // DOWN -> UP: repair completes.
-        s.up = true;
-        s.next_toggle = now + config.up(rng);
-        ++cycles_done;
-        if (!warm && cycles_done >= config.warmup_cycles) {
-          warm = true;
-          warm_start = now;
-          stats.reset();
-          // Counters start from zero after warm-up by construction.
-        }
-        if (!s.task) start_next(s);
+        s.task.reset();
+        start_next(s);
+        break;
       }
-      // Re-dispatch: the speed change may free capacity for queued tasks
-      // (e.g. a repaired idle server) -- handled above via start_next.
-    } else {
-      // Arrival.
-      Task t;
-      t.remaining = t.total = config.task_work(rng);
-      t.arrival = now;
-      if (warm) ++result.arrivals;
-      next_arrival = now + draw_interarrival();
-      // Prefer an idle UP server; fall back to an idle degraded server.
-      Server* target = nullptr;
-      for (Server& s : servers) {
-        if (!s.task && s.up) {
-          target = &s;
-          break;
-        }
-      }
-      if (!target && !crash) {
-        for (Server& s : servers) {
-          if (!s.task && !s.up) {
-            target = &s;
+      case Event::kToggle: {
+        Server& s = servers[static_cast<std::size_t>(idx)];
+        if (s.up) {
+          fail_server(s);
+        } else {
+          // Repair completes -- unless the re-failure fault preempts it
+          // and the repair starts over (drawn only when the scenario is
+          // active, so fault-free runs keep their RNG stream unchanged).
+          if (config.faults.repair_preemption > 0.0 &&
+              std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+                  config.faults.repair_preemption) {
+            advance(s);
+            s.next_toggle = now + draw_repair();
+            ++result.repair_preemptions;
             break;
           }
+          advance(s);
+          s.up = true;
+          s.next_toggle = now + draw_duration(config.up, "uptime (TTF)");
+          ++cycles_done;
+          if (!warm && cycles_done >= config.warmup_cycles) {
+            warm = true;
+            warm_start = now;
+            stats.reset();
+            // Counters start from zero after warm-up by construction.
+          }
+          if (!s.task) start_next(s);
         }
+        break;
       }
-      if (target) {
-        target->task = t;
-        target->last_update = now;
-      } else {
-        queue.push_back(t);
+      case Event::kCrash: {
+        // Correlated common-mode crash: take down up to k currently-UP
+        // servers at one instant.
+        unsigned remaining = crashes[crash_next].servers;
+        ++crash_next;
+        for (Server& s : servers) {
+          if (remaining == 0) break;
+          if (!s.up) continue;
+          fail_server(s);
+          --remaining;
+          ++result.injected_crashes;
+        }
+        break;
+      }
+      case Event::kBurst: {
+        const std::size_t count = bursts[burst_next].count;
+        ++burst_next;
+        for (std::size_t k = 0; k < count; ++k) {
+          Task t;
+          t.remaining = t.total = draw_work();
+          t.arrival = now;
+          ++result.injected_arrivals;
+          if (warm) ++result.arrivals;
+          dispatch(t);
+        }
+        break;
+      }
+      case Event::kArrival: {
+        Task t;
+        t.remaining = t.total = draw_work();
+        t.arrival = now;
+        if (warm) ++result.arrivals;
+        next_arrival = now + draw_interarrival();
+        dispatch(t);
+        break;
       }
     }
   }
 
-  result.cycles = cycles_done - config.warmup_cycles;
-  result.sim_time = now - warm_start;
-  result.mean_queue_length = stats.mean();
-  result.probability_empty = stats.pmf(0);
+  result.cycles = cycles_done > config.warmup_cycles
+                      ? cycles_done - config.warmup_cycles
+                      : 0;
+  result.sim_time = warm ? now - warm_start : 0.0;
+  // A degraded run can end before any post-warm-up time accumulates;
+  // partial statistics must not throw on the way out.
+  if (stats.total_time() > 0.0) {
+    result.mean_queue_length = stats.mean();
+    result.probability_empty = stats.pmf(0);
+  }
   return result;
 }
 

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sim/fault_injection.h"
 #include "sim/random.h"
 #include "sim/stats.h"
 
@@ -59,6 +61,15 @@ struct ClusterSimConfig {
   std::uint64_t seed = 1;
   std::size_t histogram_cap = 4096;
 
+  /// Deterministic fault-injection plan (empty by default). Scheduled
+  /// events fire at exact simulated times, so runs stay reproducible per
+  /// seed.
+  FaultPlan faults;
+  /// Watchdog budget; a tripped budget stops the run and returns partial
+  /// statistics flagged as degraded instead of hanging (e.g. when a
+  /// scenario makes the system unstable).
+  SimBudget budget;
+
   void validate() const;
 };
 
@@ -76,6 +87,14 @@ struct ClusterSimResult {
   std::size_t discarded = 0;  ///< tasks dropped by the Discard strategy
   std::size_t cycles = 0;     ///< UP/DOWN cycles simulated after warm-up
   double sim_time = 0.0;      ///< simulated time after warm-up
+
+  // Watchdog / fault-injection bookkeeping.
+  bool degraded = false;      ///< a budget tripped; statistics are partial
+  std::string degraded_reason;
+  std::size_t events = 0;               ///< total events processed
+  std::size_t injected_crashes = 0;     ///< servers hit by common-mode crashes
+  std::size_t injected_arrivals = 0;    ///< tasks injected by bursts
+  std::size_t repair_preemptions = 0;   ///< repairs that re-failed mid-repair
 };
 
 /// Run one simulation.

@@ -1,0 +1,106 @@
+#include "sim/fault_injection.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "linalg/errors.h"
+
+namespace performa::sim {
+
+void FaultPlan::validate() const {
+  for (const CommonModeCrash& c : crashes) {
+    PERFORMA_EXPECTS(std::isfinite(c.time) && c.time >= 0.0,
+                     "FaultPlan: crash time must be finite and >= 0");
+    PERFORMA_EXPECTS(c.servers >= 1, "FaultPlan: crash needs >= 1 server");
+  }
+  for (const ArrivalBurst& b : bursts) {
+    PERFORMA_EXPECTS(std::isfinite(b.time) && b.time >= 0.0,
+                     "FaultPlan: burst time must be finite and >= 0");
+    PERFORMA_EXPECTS(b.count >= 1, "FaultPlan: burst needs >= 1 arrival");
+  }
+  PERFORMA_EXPECTS(repair_preemption >= 0.0 && repair_preemption <= 1.0,
+                   "FaultPlan: repair_preemption must lie in [0,1]");
+}
+
+namespace {
+
+// "name-<number>@<number>" clause helpers. std::strtod accepts the exact
+// grammar we document; anything trailing is a parse error.
+double parse_number(const std::string& text, const char* clause) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  PERFORMA_EXPECTS(end == begin + text.size() && text.size() > 0,
+                   std::string("parse_scenario: bad number in clause '") +
+                       clause + "'");
+  return value;
+}
+
+void parse_clause(const std::string& clause, FaultPlan& plan) {
+  auto starts_with = [&clause](const char* prefix) {
+    return clause.rfind(prefix, 0) == 0;
+  };
+  if (clause == "zero-repair") {
+    plan.zero_length_repairs = true;
+    return;
+  }
+  if (clause == "infinite-task") {
+    plan.infinite_first_task = true;
+    return;
+  }
+  if (starts_with("refail-")) {
+    plan.repair_preemption = parse_number(clause.substr(7), clause.c_str());
+    return;
+  }
+  if (starts_with("common-mode-") || starts_with("burst-")) {
+    const bool crash = starts_with("common-mode-");
+    const std::size_t head = crash ? 12 : 6;
+    const std::size_t at = clause.find('@');
+    PERFORMA_EXPECTS(at != std::string::npos && at > head,
+                     std::string("parse_scenario: clause '") + clause +
+                         "' needs <size>@<time>");
+    const double size =
+        parse_number(clause.substr(head, at - head), clause.c_str());
+    const double time = parse_number(clause.substr(at + 1), clause.c_str());
+    PERFORMA_EXPECTS(size >= 1.0 && size == std::floor(size),
+                     std::string("parse_scenario: size in '") + clause +
+                         "' must be a positive integer");
+    if (crash) {
+      plan.crashes.push_back({time, static_cast<unsigned>(size)});
+    } else {
+      plan.bursts.push_back({time, static_cast<std::size_t>(size)});
+    }
+    return;
+  }
+  throw InvalidArgument(std::string("parse_scenario: unknown clause '") +
+                        clause + "'\n" + scenario_grammar());
+}
+
+}  // namespace
+
+FaultPlan parse_scenario(const std::string& spec) {
+  PERFORMA_EXPECTS(!spec.empty(), "parse_scenario: empty spec");
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t plus = spec.find('+', start);
+    const std::size_t end = plus == std::string::npos ? spec.size() : plus;
+    parse_clause(spec.substr(start, end - start), plan);
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string scenario_grammar() {
+  return
+      "scenario clauses (combine with '+'):\n"
+      "  common-mode-<k>@<t>  crash k servers simultaneously at sim time t\n"
+      "  burst-<m>@<t>        inject m extra arrivals at sim time t\n"
+      "  refail-<p>           preempt each completing repair with prob p\n"
+      "  zero-repair          degenerate sampler: all repairs take 0 time\n"
+      "  infinite-task        first injected task carries infinite work\n";
+}
+
+}  // namespace performa::sim

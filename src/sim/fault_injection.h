@@ -1,0 +1,86 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// The analytic model claims to capture behaviour under correlated
+// failures, pathological repair distributions and load spikes; this
+// harness lets the simulator *exercise* those regimes on purpose. A
+// FaultPlan schedules events that the event loop executes at exact
+// simulated times (so every scenario is reproducible per seed), and a
+// SimBudget watchdog bounds runaway runs -- a deliberately unstable
+// scenario returns partial statistics flagged as degraded instead of
+// hanging the process.
+//
+// Scenario spec grammar (perfctl --inject, scenario()):
+//
+//   common-mode-<k>@<t>   crash k servers simultaneously at time t
+//   burst-<m>@<t>         inject m extra arrivals at time t
+//   refail-<p>            each repair completion is preempted with
+//                         probability p (the repair restarts: re-failure
+//                         during repair)
+//   zero-repair           degenerate sampler: all repairs take 0 time
+//   infinite-task         degenerate sampler: one arrival at t=0 carries
+//                         infinite work (its server never completes)
+//
+// Multiple clauses can be combined with '+', e.g.
+// "common-mode-2@50+burst-200@60+refail-0.3".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace performa::sim {
+
+/// Simultaneous (correlated) crash of `servers` UP servers at `time`.
+struct CommonModeCrash {
+  double time = 0.0;
+  unsigned servers = 1;
+};
+
+/// `count` extra task arrivals injected at `time` (a load spike).
+struct ArrivalBurst {
+  double time = 0.0;
+  std::size_t count = 1;
+};
+
+/// Everything a scenario can do to a simulation run.
+struct FaultPlan {
+  std::vector<CommonModeCrash> crashes;
+  std::vector<ArrivalBurst> bursts;
+  /// Probability that a completing repair is preempted and restarts
+  /// (re-failure during repair). 0 disables.
+  double repair_preemption = 0.0;
+  /// Degenerate-sampler scenarios.
+  bool zero_length_repairs = false;  ///< override: repairs take 0 time
+  bool infinite_first_task = false;  ///< first injected task has inf work
+
+  bool empty() const noexcept {
+    return crashes.empty() && bursts.empty() && repair_preemption == 0.0 &&
+           !zero_length_repairs && !infinite_first_task;
+  }
+
+  /// Throws InvalidArgument on out-of-range probabilities, negative
+  /// times, or zero-sized injections.
+  void validate() const;
+};
+
+/// Wall-clock / event / simulated-time budget for one run. Zero means
+/// unlimited. When any limit trips, the run stops and returns partial
+/// statistics with `degraded` set (see ClusterSimResult).
+struct SimBudget {
+  double max_wall_seconds = 0.0;
+  std::size_t max_events = 0;
+  double max_sim_time = 0.0;
+
+  bool unlimited() const noexcept {
+    return max_wall_seconds == 0.0 && max_events == 0 && max_sim_time == 0.0;
+  }
+};
+
+/// Parse a scenario spec (grammar above). Throws InvalidArgument on
+/// malformed specs, with the offending clause in the message.
+FaultPlan parse_scenario(const std::string& spec);
+
+/// One-line description of each supported clause, for CLI usage text.
+std::string scenario_grammar();
+
+}  // namespace performa::sim

@@ -7,7 +7,10 @@
 
 namespace performa::sim {
 
-void SampleStats::add(double x) noexcept {
+void SampleStats::add(double x) {
+  if (!std::isfinite(x)) {
+    throw NonFiniteError("SampleStats::add: non-finite sample");
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -31,6 +34,9 @@ TimeWeightedStats::TimeWeightedStats(std::size_t histogram_cap)
     : histogram_(histogram_cap + 1, 0.0) {}
 
 void TimeWeightedStats::add(std::size_t level, double duration) {
+  if (!std::isfinite(duration)) {
+    throw NonFiniteError("TimeWeightedStats::add: non-finite duration");
+  }
   PERFORMA_EXPECTS(duration >= 0.0, "TimeWeightedStats: negative duration");
   if (duration == 0.0) return;
   histogram_[std::min(level, histogram_.size() - 1)] += duration;
@@ -103,6 +109,9 @@ double LogHistogram::edge(std::size_t bin) const {
 }
 
 void LogHistogram::add(double x) {
+  if (std::isnan(x)) {
+    throw NonFiniteError("LogHistogram::add: NaN sample");
+  }
   PERFORMA_EXPECTS(x >= 0.0, "LogHistogram: negative sample");
   ++counts_[bin_of(x)];
   ++count_;
@@ -138,6 +147,9 @@ BatchMeans::BatchMeans(std::size_t n_batches) : n_batches_(n_batches) {
 }
 
 void BatchMeans::add(double level, double duration) {
+  if (!std::isfinite(level) || !std::isfinite(duration)) {
+    throw NonFiniteError("BatchMeans::add: non-finite level or duration");
+  }
   PERFORMA_EXPECTS(duration >= 0.0, "BatchMeans: negative duration");
   while (duration > 0.0) {
     const double room = batch_duration_ - current_time_;

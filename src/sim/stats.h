@@ -9,9 +9,14 @@
 namespace performa::sim {
 
 /// Streaming mean/variance via Welford's algorithm.
+///
+/// All accumulators in this header reject non-finite samples with a typed
+/// NonFiniteError: a single NaN fed into a streaming mean silently poisons
+/// every subsequent estimate and CI half-width, so it must die at the door.
 class SampleStats {
  public:
-  void add(double x) noexcept;
+  /// Throws NonFiniteError when `x` is NaN or infinite.
+  void add(double x);
 
   std::size_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }

@@ -1,0 +1,197 @@
+// Guardrail behaviour of the QBD solver chain: drift pre-check, tiered
+// fallbacks, SolveReport diagnostics, non-finite sentinels, and the
+// near-blow-up acceptance scenario from the robustness issue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/blowup.h"
+#include "core/cluster_model.h"
+#include "linalg/expm.h"
+#include "linalg/lu.h"
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::qbd {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::TptSpec;
+
+map::Mmpp PaperClusterMmpp(unsigned t_phases, unsigned n_servers) {
+  const map::ServerModel server(exponential_from_mean(90.0),
+                                make_tpt(TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, n_servers).mmpp();
+}
+
+TEST(DriftPrecheck, UnstableModelRejectedBeforeIterating) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  const double nu_bar = mmpp.mean_rate();
+  // lambda > nu_bar: the mean-drift condition fails; the solver must throw
+  // the typed error up front instead of burning max_iterations.
+  const auto blocks = m_mmpp_1(mmpp, 1.05 * nu_bar);
+  try {
+    solve_r(blocks);
+    FAIL() << "unstable model accepted";
+  } catch (const UnstableModel& e) {
+    EXPECT_GE(e.utilization(), 1.0);
+    EXPECT_NE(std::string(e.what()).find("drift"), std::string::npos);
+  }
+}
+
+TEST(DriftPrecheck, BoundaryCaseAtExactSaturation) {
+  const auto mmpp = PaperClusterMmpp(3, 2);
+  const auto blocks = m_mmpp_1(mmpp, mmpp.mean_rate());
+  EXPECT_THROW(solve_r(blocks), UnstableModel);
+}
+
+TEST(DriftPrecheck, StableModelPassesAndReportsUtilization) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  const auto res = solve_r(m_mmpp_1(mmpp, 0.6 * mmpp.mean_rate()));
+  EXPECT_TRUE(res.report.converged);
+  testing::ExpectClose(res.report.utilization, 0.6, 1e-6, "rho");
+}
+
+TEST(Guardrails, NearBlowupConvergesViaChainWithDiagnostics) {
+  // Acceptance scenario: rho within 1e-3 of the first blow-up point
+  // rho_1 (TPT repairs). The chain must either converge -- reporting the
+  // winning algorithm -- or fail fast with a SolveReport diagnostic.
+  core::ClusterParams params;
+  params.down = make_tpt(TptSpec{10, 1.4, 0.2, 10.0});
+  const core::ClusterModel model(params);
+  const double rho1 = core::blowup_utilizations(model.blowup_params())[0];
+  for (const double rho : {rho1 - 1e-3, rho1, rho1 + 1e-3}) {
+    try {
+      const auto sol = model.solve(model.lambda_for_rho(rho));
+      EXPECT_TRUE(sol.report().converged) << "rho=" << rho;
+      EXPECT_LT(sol.report().final_defect, 1e-8) << "rho=" << rho;
+      EXPECT_GT(sol.report().spectral_radius, 0.0);
+      EXPECT_LT(sol.report().spectral_radius, 1.0);
+      EXPECT_GT(sol.mean_queue_length(), 0.0);
+    } catch (const SolverFailure& e) {
+      // Fail-fast is also acceptable -- but only with the diagnostics.
+      EXPECT_FALSE(e.report().attempts.empty()) << "rho=" << rho;
+      EXPECT_NE(std::string(e.what()).find("SolveReport"), std::string::npos);
+    }
+  }
+}
+
+TEST(Guardrails, ExhaustedChainThrowsSolverFailureWithAllAttempts) {
+  // A hard model (heavy-tail repairs, rho = 0.95 -> sp(R) near 1) under a
+  // 2-iteration budget: every tier must fail and be recorded.
+  const auto mmpp = PaperClusterMmpp(10, 2);
+  SolverOptions opts;
+  opts.max_iterations = 2;
+  try {
+    solve_r(m_mmpp_1(mmpp, 0.95 * mmpp.mean_rate()), opts);
+    FAIL() << "2 iterations cannot solve this model";
+  } catch (const SolverFailure& e) {
+    const SolveReport& report = e.report();
+    EXPECT_FALSE(report.converged);
+    EXPECT_EQ(report.attempts.size(), 3u);  // preferred + two fallbacks
+    for (const SolveAttempt& a : report.attempts) {
+      EXPECT_FALSE(a.converged) << to_string(a.algorithm);
+    }
+    // The message must be self-contained for log files.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SolveReport"), std::string::npos);
+    EXPECT_NE(what.find("logarithmic-reduction"), std::string::npos);
+  }
+}
+
+TEST(Guardrails, FallbacksCanBeDisabled) {
+  const auto mmpp = PaperClusterMmpp(10, 2);
+  SolverOptions opts;
+  opts.max_iterations = 2;
+  opts.enable_fallbacks = false;
+  try {
+    solve_r(m_mmpp_1(mmpp, 0.95 * mmpp.mean_rate()), opts);
+    FAIL() << "expected SolverFailure";
+  } catch (const SolverFailure& e) {
+    EXPECT_EQ(e.report().attempts.size(), 1u);
+  }
+}
+
+TEST(Guardrails, NewtonShiftedSolvesAndMatchesLogred) {
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(5, 2), 2.0);
+  SolverOptions newton;
+  newton.algorithm = RAlgorithm::kNewtonShifted;
+  const auto a = solve_r(blocks, newton);
+  const auto b = solve_r(blocks);
+  EXPECT_EQ(a.report.winner, SolveAlgorithm::kNewtonShifted);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.r.data().size(); ++i) {
+    diff = std::max(diff, std::abs(a.r.data()[i] - b.r.data()[i]));
+  }
+  EXPECT_LT(diff, 1e-9);
+}
+
+TEST(Guardrails, ReportDescribesWinningAttempt) {
+  const auto mmpp = PaperClusterMmpp(5, 2);
+  const auto res = solve_r(m_mmpp_1(mmpp, 0.7 * mmpp.mean_rate()));
+  EXPECT_TRUE(res.report.converged);
+  EXPECT_EQ(res.report.winner, SolveAlgorithm::kLogarithmicReduction);
+  EXPECT_GT(res.report.iterations, 0u);
+  EXPECT_GT(res.report.condition, 0.0);
+  const std::string text = res.report.to_string();
+  EXPECT_NE(text.find("converged"), std::string::npos);
+  EXPECT_NE(text.find("logarithmic-reduction"), std::string::npos);
+}
+
+TEST(Guardrails, SolutionCarriesReport) {
+  const core::ClusterModel model{core::ClusterParams{}};
+  const auto sol = model.solve(model.lambda_for_rho(0.5));
+  EXPECT_TRUE(sol.report().converged);
+  EXPECT_LT(sol.report().final_defect, 1e-8);
+}
+
+TEST(Guardrails, GSolveReportsAchievedDefect) {
+  const auto blocks = m_mmpp_1(PaperClusterMmpp(5, 2), 2.0);
+  SolverOptions opts;
+  opts.max_iterations = 1;  // one doubling cannot reach 1e-13
+  try {
+    solve_g_logred(blocks, opts);
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    // The achieved defect must appear in the message (satellite b).
+    EXPECT_NE(std::string(e.what()).find("defect"), std::string::npos);
+  }
+}
+
+TEST(NonFiniteSentinels, PoisonedBlocksRejected) {
+  auto blocks = m_mmpp_1(PaperClusterMmpp(2, 2), 1.0);
+  blocks.a1(0, 0) = std::nan("");
+  EXPECT_THROW(blocks.validate(), NonFiniteError);
+}
+
+TEST(NonFiniteSentinels, LuRejectsNonFiniteInput) {
+  linalg::Matrix a = testing::RandomDominantMatrix(4, 17);
+  a(2, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(linalg::Lu{a}, NonFiniteError);
+}
+
+TEST(NonFiniteSentinels, ExpmRejectsNonFiniteInput) {
+  linalg::Matrix a = testing::RandomMatrix(3, 5);
+  a(0, 0) = std::nan("");
+  EXPECT_THROW(linalg::expm(a), NonFiniteError);
+}
+
+TEST(ConditionEstimate, SaneOnIdentityAndIllConditioned) {
+  const linalg::Matrix eye = linalg::Matrix::identity(4);
+  const double k_eye = linalg::Lu(eye).condition_estimate();
+  EXPECT_GT(k_eye, 0.5);
+  EXPECT_LT(k_eye, 2.0);
+
+  // Nearly singular 2x2: condition must come out large.
+  const linalg::Matrix bad{{1.0, 1.0}, {1.0, 1.0 + 1e-10}};
+  EXPECT_GT(linalg::Lu(bad).condition_estimate(), 1e6);
+}
+
+}  // namespace
+}  // namespace performa::qbd

@@ -66,8 +66,11 @@ TEST(RSolver, AlgorithmsAgree) {
 
 TEST(RSolver, GIsStochasticForStableQueue) {
   const auto blocks = m_mmpp_1(PaperClusterMmpp(5, 2), 2.0);
-  const Matrix g = solve_g_logred(blocks);
-  EXPECT_TRUE(linalg::is_stochastic(g, 1e-8));
+  const GSolveResult g = solve_g_logred(blocks);
+  EXPECT_TRUE(linalg::is_stochastic(g.g, 1e-8));
+  EXPECT_TRUE(g.converged);
+  EXPECT_GT(g.iterations, 0u);
+  EXPECT_LT(g.defect, 1e-7);
 }
 
 TEST(RSolver, SpectralRadiusBelowOneIffStable) {

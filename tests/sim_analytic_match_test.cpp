@@ -1,0 +1,106 @@
+// Randomized (fixed-seed) agreement property: for random *stable* cluster
+// configurations, the analytic M/MMPP/1 mean queue length must fall inside
+// the simulator's replication confidence interval; random *unstable*
+// configurations must be rejected by the drift pre-check before any
+// iteration budget is spent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "sim/mmpp_queue_sim.h"
+#include "sim/random.h"
+#include "test_util.h"
+
+namespace performa::sim {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::TptSpec;
+
+// One random cluster drawn from a per-case deterministic stream: phase
+// counts, degradation, failure/repair scales and utilization all vary, so
+// 50 cases cover a broad slice of the parameter space while every run
+// reproduces bit-for-bit.
+struct RandomCase {
+  double rho = 0.0;  // declared before mmpp: Build() writes it
+  map::Mmpp mmpp;
+
+  explicit RandomCase(unsigned seed) : mmpp(Build(seed, rho)) {}
+
+ private:
+  static map::Mmpp Build(unsigned seed, double& rho_out) {
+    std::mt19937_64 rng(seed);
+    auto uni = [&rng](double lo, double hi) {
+      return std::uniform_real_distribution<double>(lo, hi)(rng);
+    };
+    const auto n_servers = static_cast<unsigned>(1 + rng() % 3);
+    const auto t_phases = static_cast<unsigned>(1 + rng() % 4);
+    const double nu_p = uni(1.0, 3.0);
+    const double delta = uni(0.1, 0.5);
+    const double mttf = uni(30.0, 120.0);
+    const double mttr = uni(2.0, 15.0);
+    rho_out = uni(0.2, 0.7);
+    const auto down =
+        t_phases <= 1 ? exponential_from_mean(mttr)
+                      : make_tpt(TptSpec{t_phases, uni(1.2, 1.8), 0.2, mttr});
+    const map::ServerModel server(exponential_from_mean(mttf), down, nu_p,
+                                  delta);
+    return map::LumpedAggregate(server, n_servers).mmpp();
+  }
+};
+
+class AnalyticMatch : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AnalyticMatch, StableConfigAgreesWithinConfidenceInterval) {
+  const RandomCase rc(GetParam());
+  const double lambda = rc.rho * rc.mmpp.mean_rate();
+
+  const qbd::QbdSolution exact(qbd::m_mmpp_1(rc.mmpp, lambda));
+  ASSERT_TRUE(exact.report().converged);
+  const double analytic = exact.mean_queue_length();
+
+  std::vector<double> estimates;
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    MmppQueueSimConfig cfg;
+    cfg.lambda = lambda;
+    cfg.horizon = 5e4;
+    cfg.warmup = 5e3;
+    cfg.seed = derive_seed(1000 + GetParam(), rep);
+    estimates.push_back(
+        simulate_mmpp_queue(rc.mmpp, cfg).mean_queue_length);
+  }
+  const ReplicationSummary summary = summarize_replications(estimates);
+
+  // The CI is itself a random quantity with 3 degrees of freedom, so give
+  // it headroom: the analytic value must sit within 2 half-widths (plus a
+  // small absolute floor for near-empty queues).
+  const double slack = 2.0 * summary.ci_halfwidth + 0.05 * (1.0 + analytic);
+  EXPECT_LE(std::abs(analytic - summary.mean), slack)
+      << "analytic=" << analytic << " sim=" << summary.mean
+      << " ci=" << summary.ci_halfwidth << " rho=" << rc.rho;
+}
+
+TEST_P(AnalyticMatch, UnstableConfigRejectedByDriftPrecheck) {
+  const RandomCase rc(GetParam());
+  std::mt19937_64 rng(777 + GetParam());
+  const double rho_unstable =
+      std::uniform_real_distribution<double>(1.0, 1.4)(rng);
+  const double lambda = rho_unstable * rc.mmpp.mean_rate();
+  try {
+    qbd::QbdSolution sol(qbd::m_mmpp_1(rc.mmpp, lambda));
+    FAIL() << "unstable rho=" << rho_unstable << " accepted";
+  } catch (const qbd::UnstableModel& e) {
+    EXPECT_GE(e.utilization(), 1.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyRandomConfigs, AnalyticMatch,
+                         ::testing::Range(0u, 50u));
+
+}  // namespace
+}  // namespace performa::sim

@@ -270,5 +270,83 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ClusterSimProperty,
                                            SimCase{0.5, 0.5},
                                            SimCase{1.0, 0.7}));
 
+// --- FailureStrategy edge cases -----------------------------------------
+
+TEST(ClusterSimEdge, CrashWithZeroLengthRepairTerminates) {
+  // Crash faults (delta = 0) whose repairs take exactly zero time: the
+  // server bounces back in the same instant, but the interrupted task must
+  // still go through the strategy's handling. The run must terminate with
+  // the full cycle count for every strategy.
+  for (const FailureStrategy s :
+       {FailureStrategy::kDiscard, FailureStrategy::kRestartFront,
+        FailureStrategy::kRestartBack, FailureStrategy::kResumeFront,
+        FailureStrategy::kResumeBack}) {
+    ClusterSimConfig cfg = BaseConfig();
+    cfg.delta = 0.0;
+    cfg.strategy = s;
+    cfg.cycles = 2000;
+    cfg.warmup_cycles = 200;
+    cfg.faults.zero_length_repairs = true;
+    const auto res = simulate_cluster(cfg);
+    EXPECT_FALSE(res.degraded) << to_string(s);
+    EXPECT_EQ(res.cycles, cfg.cycles) << to_string(s);
+    EXPECT_GT(res.completed, 0u) << to_string(s);
+  }
+}
+
+TEST(ClusterSimEdge, SimultaneousCrashAndArrivalDeterministic) {
+  // Deterministic interarrivals put an arrival at every integer time; a
+  // common-mode crash scheduled at t = 5.0 collides with the t = 5.0
+  // arrival exactly. The tie must resolve in a fixed order (arrival
+  // first, crash immediately after at the same timestamp) so reruns are
+  // bit-identical.
+  ClusterSimConfig cfg = BaseConfig();
+  cfg.delta = 0.0;
+  cfg.strategy = FailureStrategy::kResumeBack;
+  cfg.interarrival = deterministic_sampler(1.0);
+  cfg.cycles = 500;
+  cfg.warmup_cycles = 0;
+  cfg.faults.crashes.push_back({5.0, 2});
+
+  const auto a = simulate_cluster(cfg);
+  const auto b = simulate_cluster(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.injected_crashes, 2u);
+  EXPECT_DOUBLE_EQ(a.mean_queue_length, b.mean_queue_length);
+}
+
+TEST(ClusterSimEdge, ResumePreservesWorkAcrossRepeatedCrashes) {
+  // A 10-unit task on a server that crashes every ~3 time units: Resume
+  // accumulates service across interruptions, so every completed task has
+  // received exactly its work requirement; Restart loses the progress and
+  // only finishes a task when a single up-period covers all 10 units
+  // (probability e^{-10/3}), so it completes far fewer tasks.
+  ClusterSimConfig cfg;
+  cfg.n_servers = 1;
+  cfg.nu_p = 1.0;
+  cfg.delta = 0.0;
+  cfg.lambda = 0.02;
+  cfg.up = exponential_sampler_mean(3.0);
+  cfg.down = exponential_sampler_mean(1.0);
+  cfg.task_work = deterministic_sampler(10.0);
+  cfg.strategy = FailureStrategy::kResumeBack;
+  cfg.cycles = 4000;
+  cfg.warmup_cycles = 400;
+  cfg.seed = 5;
+
+  const auto resume = simulate_cluster(cfg);
+  ASSERT_GT(resume.completed, 0u);
+  // Work conservation: a completed 10-unit task spent >= 10 time units in
+  // the system (speed is 1), no matter how many crashes interrupted it.
+  EXPECT_GE(resume.system_time.min(), 10.0 - 1e-9);
+
+  ClusterSimConfig restart_cfg = cfg;
+  restart_cfg.strategy = FailureStrategy::kRestartBack;
+  const auto restart = simulate_cluster(restart_cfg);
+  EXPECT_GT(resume.completed, restart.completed);
+}
+
 }  // namespace
 }  // namespace performa::sim

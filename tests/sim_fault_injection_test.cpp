@@ -1,0 +1,212 @@
+// Fault-injection harness: scenario grammar, deterministic injection,
+// degenerate samplers, and the watchdog budgets that keep deliberately
+// broken runs from hanging.
+#include "sim/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/errors.h"
+#include "sim/cluster_sim.h"
+
+namespace performa::sim {
+namespace {
+
+ClusterSimConfig SmallConfig() {
+  ClusterSimConfig cfg;
+  cfg.n_servers = 2;
+  cfg.nu_p = 2.0;
+  cfg.delta = 0.2;
+  cfg.lambda = 1.0;
+  cfg.up = exponential_sampler_mean(90.0);
+  cfg.down = exponential_sampler_mean(10.0);
+  cfg.cycles = 400;
+  cfg.warmup_cycles = 40;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ScenarioParser, ParsesCombinedSpec) {
+  const FaultPlan plan = parse_scenario(
+      "common-mode-2@100+burst-50@200+refail-0.25+zero-repair+infinite-task");
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].time, 100.0);
+  EXPECT_EQ(plan.crashes[0].servers, 2u);
+  ASSERT_EQ(plan.bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.bursts[0].time, 200.0);
+  EXPECT_EQ(plan.bursts[0].count, 50u);
+  EXPECT_DOUBLE_EQ(plan.repair_preemption, 0.25);
+  EXPECT_TRUE(plan.zero_length_repairs);
+  EXPECT_TRUE(plan.infinite_first_task);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(ScenarioParser, RepeatedClausesAccumulate) {
+  const FaultPlan plan = parse_scenario("common-mode-1@5+common-mode-2@10");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].servers, 1u);
+  EXPECT_EQ(plan.crashes[1].servers, 2u);
+}
+
+TEST(ScenarioParser, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_scenario(""), InvalidArgument);
+  EXPECT_THROW(parse_scenario("frobnicate"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("common-mode-2"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("common-mode-x@3"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("burst-0.5@3"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("burst-4@"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("refail-1.5"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("common-mode-1@-3"), InvalidArgument);
+  EXPECT_THROW(parse_scenario("zero-repair+"), InvalidArgument);
+}
+
+TEST(FaultInjection, DeterministicPerSeed) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults = parse_scenario("common-mode-2@50+burst-20@120+refail-0.3");
+
+  const auto a = simulate_cluster(cfg);
+  const auto b = simulate_cluster(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.repair_preemptions, b.repair_preemptions);
+  EXPECT_DOUBLE_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_DOUBLE_EQ(a.sim_time, b.sim_time);
+
+  cfg.seed = 8;
+  const auto c = simulate_cluster(cfg);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(FaultInjection, FaultFreeStreamUnchangedByPlanStruct) {
+  // An empty FaultPlan must leave the RNG stream -- and hence every
+  // statistic -- identical to a run that never heard of fault injection.
+  ClusterSimConfig cfg = SmallConfig();
+  const auto base = simulate_cluster(cfg);
+  cfg.faults = FaultPlan{};
+  const auto with_empty_plan = simulate_cluster(cfg);
+  EXPECT_DOUBLE_EQ(base.mean_queue_length, with_empty_plan.mean_queue_length);
+  EXPECT_EQ(base.events, with_empty_plan.events);
+}
+
+TEST(FaultInjection, CommonModeCrashHitsUpServers) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults.crashes.push_back({60.0, 2});
+  const auto res = simulate_cluster(cfg);
+  EXPECT_EQ(res.injected_crashes, 2u);
+  EXPECT_FALSE(res.degraded);
+}
+
+TEST(FaultInjection, OversizedCrashClampsToUpServers) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults.crashes.push_back({60.0, 100});  // only 2 servers exist
+  const auto res = simulate_cluster(cfg);
+  EXPECT_LE(res.injected_crashes, 2u);
+  EXPECT_GE(res.injected_crashes, 1u);
+}
+
+TEST(FaultInjection, BurstInjectsExactArrivalCount) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults.bursts.push_back({80.0, 500});
+  const auto res = simulate_cluster(cfg);
+  EXPECT_EQ(res.injected_arrivals, 500u);
+  // The burst is absorbed: the run still completes normally.
+  EXPECT_FALSE(res.degraded);
+  EXPECT_GT(res.completed, 0u);
+}
+
+TEST(FaultInjection, RepairPreemptionProlongsRepairs) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults.repair_preemption = 0.5;
+  const auto res = simulate_cluster(cfg);
+  EXPECT_GT(res.repair_preemptions, 0u);
+  EXPECT_FALSE(res.degraded);
+}
+
+TEST(FaultInjection, ZeroLengthRepairsDoNotHang) {
+  // Degenerate sampler: every repair takes exactly zero time. The toggle
+  // events collapse to the same instant; the run must still terminate
+  // with the full cycle count and no queueing artefacts.
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.faults.zero_length_repairs = true;
+  const auto res = simulate_cluster(cfg);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(res.cycles, cfg.cycles);
+  EXPECT_GT(res.completed, 0u);
+}
+
+TEST(FaultInjection, InfiniteTaskPinsOneServerForever) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.n_servers = 1;
+  cfg.lambda = 0.5;
+  cfg.cycles = 100;
+  cfg.warmup_cycles = 0;
+  cfg.faults.infinite_first_task = true;
+  const auto res = simulate_cluster(cfg);
+  // The pinned server can never complete anything; the queue only grows.
+  EXPECT_EQ(res.completed, 0u);
+  EXPECT_GE(res.injected_arrivals, 1u);
+  EXPECT_GT(res.mean_queue_length, 1.0);
+}
+
+TEST(Watchdog, EventBudgetStopsUnstableRun) {
+  // Deliberately unstable: lambda far above capacity, cycle target far
+  // beyond the budget. The watchdog must return degraded partials
+  // instead of spinning until the cycle count is reached.
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.lambda = 100.0;  // capacity is ~4
+  cfg.cycles = 100000000;
+  cfg.warmup_cycles = 0;
+  cfg.budget.max_events = 20000;
+  const auto res = simulate_cluster(cfg);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.degraded_reason, "event budget exhausted");
+  EXPECT_EQ(res.events, 20000u);
+  // Partial statistics survive the early exit.
+  EXPECT_GT(res.mean_queue_length, 0.0);
+  EXPECT_GT(res.arrivals, 0u);
+}
+
+TEST(Watchdog, SimTimeBudgetStopsRun) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.cycles = 100000000;
+  cfg.budget.max_sim_time = 500.0;
+  const auto res = simulate_cluster(cfg);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.degraded_reason, "simulated-time budget exhausted");
+}
+
+TEST(Watchdog, WallClockBudgetStopsRun) {
+  ClusterSimConfig cfg = SmallConfig();
+  cfg.lambda = 100.0;
+  cfg.cycles = 100000000;
+  cfg.warmup_cycles = 0;
+  cfg.budget.max_wall_seconds = 0.05;
+  const auto res = simulate_cluster(cfg);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.degraded_reason, "wall-clock budget exhausted");
+}
+
+TEST(Watchdog, UnlimitedByDefault) {
+  EXPECT_TRUE(SimBudget{}.unlimited());
+  EXPECT_TRUE(FaultPlan{}.empty());
+  const auto res = simulate_cluster(SmallConfig());
+  EXPECT_FALSE(res.degraded);
+  EXPECT_TRUE(res.degraded_reason.empty());
+}
+
+TEST(FaultPlanValidate, RejectsBadFields) {
+  FaultPlan plan;
+  plan.crashes.push_back({-1.0, 2});
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+
+  plan = FaultPlan{};
+  plan.bursts.push_back({10.0, 0});
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+
+  plan = FaultPlan{};
+  plan.repair_preemption = 1.5;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace performa::sim

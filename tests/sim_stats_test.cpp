@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "linalg/errors.h"
 #include "sim/random.h"
 #include "test_util.h"
@@ -203,6 +206,49 @@ TEST(DeriveSeed, ProducesDistinctStreams) {
   EXPECT_NE(a, b);
   EXPECT_NE(a, c);
   EXPECT_EQ(a, derive_seed(42, 0));  // deterministic
+}
+
+TEST(NonFiniteGuards, SampleStatsRejectsNanAndInf) {
+  SampleStats s;
+  s.add(1.0);
+  EXPECT_THROW(s.add(std::nan("")), NonFiniteError);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()), NonFiniteError);
+  // The accumulator stays unpoisoned after a rejected sample.
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(NonFiniteGuards, TimeWeightedStatsRejectsNonFiniteDuration) {
+  TimeWeightedStats t(8);
+  t.add(1, 2.0);
+  EXPECT_THROW(t.add(1, std::nan("")), NonFiniteError);
+  EXPECT_THROW(t.add(2, std::numeric_limits<double>::infinity()),
+               NonFiniteError);
+  EXPECT_DOUBLE_EQ(t.total_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 1.0);
+}
+
+TEST(NonFiniteGuards, BatchMeansRejectsNonFinite) {
+  BatchMeans b(4);
+  b.add(1.0, 1.0);
+  EXPECT_THROW(b.add(std::nan(""), 1.0), NonFiniteError);
+  EXPECT_THROW(b.add(1.0, std::numeric_limits<double>::infinity()),
+               NonFiniteError);
+}
+
+TEST(NonFiniteGuards, LogHistogramRejectsNan) {
+  LogHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.add(std::nan("")), NonFiniteError);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(NonFiniteGuards, SummarizePropagatesTypedError) {
+  // A NaN replication estimate must surface as the typed error, not as a
+  // silently-NaN mean.
+  EXPECT_THROW(summarize_replications({1.0, std::nan(""), 2.0}),
+               NonFiniteError);
 }
 
 }  // namespace
