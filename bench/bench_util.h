@@ -7,11 +7,22 @@
 // Simulation-backed figures accept the environment variable
 // PERFORMA_BENCH_SCALE (default 1): cycles and replications are multiplied
 // by it. Scale 10 reproduces the paper's 2e5-cycle / 10-replication runs.
+//
+// Figures ported to the supervised runner (fig1, fig3, fig7) additionally
+// honour:
+//   PERFORMA_CHECKPOINT     checkpoint file (completed points appended)
+//   PERFORMA_RESUME=1       reuse completed points from the checkpoint
+//   PERFORMA_POINT_TIMEOUT  per-point wall-clock budget in seconds
+//   PERFORMA_RUNNER_ISOLATE=0  run points in-process (no fork/timeout)
+//   PERFORMA_GOLDEN         golden checkpoint to regression-compare against
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "runner/golden.h"
+#include "runner/sweep.h"
 
 namespace performa::bench {
 
@@ -25,6 +36,54 @@ inline double scale_factor() {
 
 inline std::size_t scaled(std::size_t base) {
   return static_cast<std::size_t>(static_cast<double>(base) * scale_factor());
+}
+
+/// Sweep-runner options from the PERFORMA_* environment (see file header).
+inline runner::SweepOptions sweep_options_from_env() {
+  runner::SweepOptions opts;
+  if (const char* v = std::getenv("PERFORMA_CHECKPOINT")) {
+    opts.checkpoint_path = v;
+  }
+  if (const char* v = std::getenv("PERFORMA_RESUME")) {
+    opts.resume = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("PERFORMA_POINT_TIMEOUT")) {
+    opts.timeout_seconds = std::atof(v);
+  }
+  if (const char* v = std::getenv("PERFORMA_RUNNER_ISOLATE")) {
+    opts.isolate = std::atoi(v) != 0;
+  }
+  return opts;
+}
+
+/// Post-sweep epilogue: report degraded points, honour PERFORMA_GOLDEN,
+/// and map interruption to the conventional exit code. Returns the
+/// process exit status (0 ok, 3 golden mismatch, 130 interrupted).
+inline int finish_sweep(const char* name, const runner::SweepResult& sweep) {
+  for (const auto& pt : sweep.points) {
+    if (pt.outcome != runner::Outcome::kOk) {
+      std::printf("# degraded %s: %s after %u attempt(s): %s\n",
+                  pt.id.c_str(), runner::to_string(pt.outcome), pt.attempts,
+                  pt.message.c_str());
+    }
+  }
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "%s: sweep interrupted; checkpoint flushed, set "
+                 "PERFORMA_RESUME=1 to continue\n",
+                 name);
+    return 130;
+  }
+  if (const char* g = std::getenv("PERFORMA_GOLDEN")) {
+    const auto golden = runner::load_checkpoint(g);
+    runner::SweepCheckpoint actual;
+    actual.sweep_name = name;
+    actual.points = sweep.points;
+    const auto report = runner::compare_to_golden(golden, actual);
+    std::fprintf(stderr, "%s", report.to_string().c_str());
+    if (!report.ok()) return 3;
+  }
+  return 0;
 }
 
 /// Print the standard experiment banner.

@@ -34,16 +34,38 @@ int main() {
               "(paper: 0.609, 0.217)\n",
               rho_bounds[0], rho_bounds[1]);
 
+  // Each rho is one supervised point; metrics round-trip through the
+  // runner, so the sweep is checkpointable and golden-comparable.
+  std::vector<runner::SweepPointSpec> points;
+  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
+    char id[32];
+    std::snprintf(id, sizeof id, "rho=%.2f", rho);
+    points.push_back({id, [&models, &t_values, rho]() {
+      runner::PointResult out;
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "nql_T%u", t_values[i]);
+        out.metrics.emplace_back(name,
+                                 models[i].normalized_mean_queue_length(rho));
+      }
+      return out;
+    }});
+  }
+  runner::install_signal_handlers();
+  const auto sweep =
+      runner::run_sweep("fig1-mean-ql", points, bench::sweep_options_from_env());
+
   std::printf("rho");
   for (unsigned t : t_values) std::printf(",nql_T%u", t);
   std::printf("\n");
-
-  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
-    std::printf("%.2f", rho);
-    for (const auto& model : models) {
-      std::printf(",%.4f", model.normalized_mean_queue_length(rho));
+  for (const auto& pt : sweep.points) {
+    std::printf("%s", pt.id.c_str() + 4);  // strip the "rho=" prefix
+    for (unsigned t : t_values) {
+      char name[32];
+      std::snprintf(name, sizeof name, "nql_T%u", t);
+      std::printf(",%.4f", pt.metric(name));
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::finish_sweep("fig1-mean-ql", sweep);
 }

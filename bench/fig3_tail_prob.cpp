@@ -33,16 +33,39 @@ int main() {
               k, models[0].mean_service_rate(),
               static_cast<double>(k) / models[0].mean_service_rate());
 
+  // Each rho is one supervised point; metrics round-trip through the
+  // runner, so the sweep is checkpointable and golden-comparable.
+  std::vector<runner::SweepPointSpec> points;
+  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
+    char id[32];
+    std::snprintf(id, sizeof id, "rho=%.2f", rho);
+    points.push_back({id, [&models, &t_values, rho, k]() {
+      runner::PointResult out;
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "tail_T%u", t_values[i]);
+        out.metrics.emplace_back(
+            name, models[i].solve(models[i].lambda_for_rho(rho)).tail(k));
+      }
+      out.metrics.emplace_back("tail_mm1", core::mm1::tail(rho, k));
+      return out;
+    }});
+  }
+  runner::install_signal_handlers();
+  const auto sweep = runner::run_sweep("fig3-tail-prob", points,
+                                       bench::sweep_options_from_env());
+
   std::printf("rho");
   for (unsigned t : t_values) std::printf(",tail_T%u", t);
   std::printf(",tail_mm1\n");
-
-  for (double rho = 0.05; rho < 0.96; rho += 0.05) {
-    std::printf("%.2f", rho);
-    for (const auto& model : models) {
-      std::printf(",%.6e", model.solve(model.lambda_for_rho(rho)).tail(k));
+  for (const auto& pt : sweep.points) {
+    std::printf("%s", pt.id.c_str() + 4);  // strip the "rho=" prefix
+    for (unsigned t : t_values) {
+      char name[32];
+      std::snprintf(name, sizeof name, "tail_T%u", t);
+      std::printf(",%.6e", pt.metric(name));
     }
-    std::printf(",%.6e\n", core::mm1::tail(rho, k));
+    std::printf(",%.6e\n", pt.metric("tail_mm1"));
   }
-  return 0;
+  return bench::finish_sweep("fig3-tail-prob", sweep);
 }

@@ -38,39 +38,64 @@ int main() {
               "(paper: 2e5 cycles; set PERFORMA_BENCH_SCALE=10)\n",
               cycles, reps);
 
+  // Each rho is one supervised point (the expensive stage of this figure
+  // is simulation, so the per-point timeout/retry protection and
+  // checkpoint reuse matter most here). The worker also reports the
+  // final RNG-stream position of the M/MMPP/1 run, persisted in the
+  // checkpoint for replay audits.
+  std::vector<runner::SweepPointSpec> points;
+  for (double rho = 0.1; rho < 0.95; rho += 0.1) {
+    char id[32];
+    std::snprintf(id, sizeof id, "rho=%.1f", rho);
+    points.push_back({id, [&model, &params, cycles, reps, rho]() {
+      runner::PointResult out;
+      const double lambda = model.lambda_for_rho(rho);
+
+      out.metrics.emplace_back("analytic",
+                               model.solve(lambda).mean_queue_length());
+      out.metrics.emplace_back(
+          "analytic_ld",
+          model.solve_load_dependent(lambda).mean_queue_length());
+
+      // Load-independent M/MMPP/1 simulation.
+      sim::MmppQueueSimConfig mq;
+      mq.lambda = lambda;
+      mq.horizon = 50.0 * static_cast<double>(cycles);
+      mq.warmup = 0.1 * mq.horizon;
+      mq.seed = 7001 + static_cast<std::uint64_t>(rho * 100);
+      const auto mmpp_sim =
+          sim::simulate_mmpp_queue(model.aggregate().mmpp(), mq);
+      out.metrics.emplace_back("sim_mmpp", mmpp_sim.mean_queue_length);
+      out.rng_state = mmpp_sim.final_rng_state;
+
+      // Multiprocessor simulation.
+      sim::ClusterSimConfig cs;
+      cs.lambda = lambda;
+      cs.up = sim::me_sampler(params.up);
+      cs.down = sim::me_sampler(params.down);
+      cs.cycles = cycles;
+      cs.warmup_cycles = cycles / 10;
+      cs.seed = 9001 + static_cast<std::uint64_t>(rho * 100);
+      const auto mp = sim::mean_queue_length_summary(cs, reps);
+      out.metrics.emplace_back("sim_multiproc", mp.mean);
+      out.metrics.emplace_back("sim_multiproc_ci", mp.ci_halfwidth);
+
+      out.metrics.emplace_back("mm1", core::mm1::mean_queue_length(rho));
+      return out;
+    }});
+  }
+  runner::install_signal_handlers();
+  const auto sweep = runner::run_sweep("fig7-sim-validation", points,
+                                       bench::sweep_options_from_env());
+
   std::printf(
       "rho,analytic,sim_mmpp,sim_multiproc,sim_multiproc_ci,analytic_level_"
       "dependent,mm1\n");
-
-  for (double rho = 0.1; rho < 0.95; rho += 0.1) {
-    const double lambda = model.lambda_for_rho(rho);
-
-    const double analytic = model.solve(lambda).mean_queue_length();
-    const double analytic_ld =
-        model.solve_load_dependent(lambda).mean_queue_length();
-
-    // Load-independent M/MMPP/1 simulation.
-    sim::MmppQueueSimConfig mq;
-    mq.lambda = lambda;
-    mq.horizon = 50.0 * static_cast<double>(cycles);
-    mq.warmup = 0.1 * mq.horizon;
-    mq.seed = 7001 + static_cast<std::uint64_t>(rho * 100);
-    const auto mmpp_sim =
-        sim::simulate_mmpp_queue(model.aggregate().mmpp(), mq);
-
-    // Multiprocessor simulation.
-    sim::ClusterSimConfig cs;
-    cs.lambda = lambda;
-    cs.up = sim::me_sampler(params.up);
-    cs.down = sim::me_sampler(params.down);
-    cs.cycles = cycles;
-    cs.warmup_cycles = cycles / 10;
-    cs.seed = 9001 + static_cast<std::uint64_t>(rho * 100);
-    const auto mp = sim::mean_queue_length_summary(cs, reps);
-
-    std::printf("%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", rho, analytic,
-                mmpp_sim.mean_queue_length, mp.mean, mp.ci_halfwidth,
-                analytic_ld, core::mm1::mean_queue_length(rho));
+  for (const auto& pt : sweep.points) {
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", pt.id.c_str() + 4,
+                pt.metric("analytic"), pt.metric("sim_mmpp"),
+                pt.metric("sim_multiproc"), pt.metric("sim_multiproc_ci"),
+                pt.metric("analytic_ld"), pt.metric("mm1"));
   }
-  return 0;
+  return bench::finish_sweep("fig7-sim-validation", sweep);
 }

@@ -2,16 +2,31 @@
 //
 //   perfctl blowup  [N nu_p delta A alpha]         blow-up structure
 //   perfctl solve   [N nu_p delta mttf mttr rho T] one stationary solution
-//   perfctl sweep   [N nu_p delta mttf mttr T]     rho sweep (CSV)
+//   perfctl sweep   [N nu_p delta mttf mttr T]     supervised rho sweep (CSV)
 //   perfctl simulate [N nu_p delta mttf mttr rho cycles seed]
 //                                                  multiprocessor simulation
 //
 // Flags (anywhere on the command line):
-//   --report             solve/sweep: print the solver's SolveReport
+//   --report             solve: print the solver's SolveReport
 //   --inject <scenario>  simulate: run a fault-injection scenario
+//   --checkpoint <path>  sweep: append completed points to a checkpoint
+//   --resume             sweep: reuse completed points from --checkpoint
+//   --golden <path>      sweep: regression-compare against a golden file
+//   --timeout <seconds>  sweep: per-point wall-clock budget (0 = none)
+//   --retries <n>        sweep: attempts per point for transient failures
+//   --sim-cycles <n>     sweep: also simulate each point (n UP/DOWN cycles)
+//   --no-isolate         sweep: run points in-process (no fork, no timeout)
+//
+// The sweep runs each point in a supervised worker subprocess: hung
+// points are SIGKILLed at the timeout and retried with backoff, solver
+// failures become degraded placeholder rows instead of aborting, and
+// SIGINT/SIGTERM stop the sweep at the next point boundary with the
+// checkpoint flushed -- `--resume` then picks up where it stopped,
+// reproducing completed points bit-exactly.
 //
 // Arguments are positional with defaults matching the paper's running
 // example; `perfctl <cmd>` with no arguments reproduces paper numbers.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +37,8 @@
 #include "core/mm1.h"
 #include "core/qos.h"
 #include "qbd/solve_report.h"
+#include "runner/golden.h"
+#include "runner/sweep.h"
 #include "sim/cluster_sim.h"
 
 using namespace performa;
@@ -31,7 +48,14 @@ namespace {
 // Flags stripped from argv before positional parsing.
 struct Flags {
   bool report = false;
-  std::string inject;  // fault-injection scenario spec (empty = none)
+  std::string inject;      // fault-injection scenario spec (empty = none)
+  std::string checkpoint;  // sweep checkpoint path (empty = off)
+  std::string golden;      // golden-result file to compare against
+  bool resume = false;
+  bool isolate = true;
+  double timeout_seconds = 0.0;
+  unsigned retries = 3;
+  std::size_t sim_cycles = 0;  // per-point simulation effort (0 = analytic only)
 };
 
 double Arg(int argc, char** argv, int index, double fallback) {
@@ -99,18 +123,93 @@ int CmdSolve(int argc, char** argv, const Flags& flags) {
   return 0;
 }
 
-int CmdSweep(int argc, char** argv) {
+int CmdSweep(int argc, char** argv, const Flags& flags) {
   const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
                             Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
                             Arg(argc, argv, 6, 10.0),
                             Arg(argc, argv, 7, 10));
   const core::ClusterModel model(p);
-  std::printf("rho,mean_ql,normalized,p_empty,tail500\n");
+
+  // One supervised point per utilization. The worker computes in a
+  // subprocess, so a hang or crash at one rho cannot take the sweep down.
+  std::vector<runner::SweepPointSpec> points;
   for (double rho = 0.05; rho < 0.96; rho += 0.05) {
-    const auto sol = model.solve(model.lambda_for_rho(rho));
-    std::printf("%.2f,%.4f,%.4f,%.4f,%.4e\n", rho, sol.mean_queue_length(),
-                sol.mean_queue_length() / core::mm1::mean_queue_length(rho),
-                sol.probability_empty(), sol.tail(500));
+    char id[32];
+    std::snprintf(id, sizeof id, "rho=%.2f", rho);
+    const std::size_t index = points.size();
+    points.push_back({id, [&model, &p, &flags, rho, index]() {
+      runner::PointResult out;
+      const auto sol = model.solve(model.lambda_for_rho(rho));
+      out.metrics.emplace_back("mean_ql", sol.mean_queue_length());
+      out.metrics.emplace_back(
+          "normalized",
+          sol.mean_queue_length() / core::mm1::mean_queue_length(rho));
+      out.metrics.emplace_back("p_empty", sol.probability_empty());
+      out.metrics.emplace_back("tail500", sol.tail(500));
+      if (flags.sim_cycles > 0) {
+        sim::ClusterSimConfig cfg;
+        cfg.n_servers = p.n_servers;
+        cfg.nu_p = p.nu_p;
+        cfg.delta = p.delta;
+        cfg.lambda = model.lambda_for_rho(rho);
+        cfg.up = sim::me_sampler(p.up);
+        cfg.down = sim::me_sampler(p.down);
+        cfg.cycles = flags.sim_cycles;
+        cfg.warmup_cycles = flags.sim_cycles / 10;
+        cfg.seed = sim::derive_seed(4242, index);
+        const auto res = sim::simulate_cluster(cfg);
+        out.metrics.emplace_back("sim_mean_ql", res.mean_queue_length);
+        out.rng_state = res.final_rng_state;
+      }
+      return out;
+    }});
+  }
+
+  runner::SweepOptions opts;
+  opts.checkpoint_path = flags.checkpoint;
+  opts.resume = flags.resume;
+  opts.timeout_seconds = flags.timeout_seconds;
+  opts.retry.max_attempts = flags.retries;
+  opts.isolate = flags.isolate;
+  opts.verbose = flags.report;
+  runner::install_signal_handlers();
+  const auto sweep = runner::run_sweep("perfctl-sweep", points, opts);
+
+  std::printf("rho,mean_ql,normalized,p_empty,tail500%s\n",
+              flags.sim_cycles > 0 ? ",sim_mean_ql" : "");
+  for (const auto& pt : sweep.points) {
+    // Degraded points print as NaN placeholder rows; metric() returns
+    // NaN for anything the worker never delivered.
+    std::printf("%s,%.4f,%.4f,%.4f,%.4e", pt.id.c_str() + 4,
+                pt.metric("mean_ql"), pt.metric("normalized"),
+                pt.metric("p_empty"), pt.metric("tail500"));
+    if (flags.sim_cycles > 0) std::printf(",%.4f", pt.metric("sim_mean_ql"));
+    std::printf("\n");
+    if (pt.outcome != runner::Outcome::kOk) {
+      std::printf("# degraded %s: %s after %u attempt(s): %s\n",
+                  pt.id.c_str(), runner::to_string(pt.outcome), pt.attempts,
+                  pt.message.c_str());
+    }
+  }
+  if (sweep.reused > 0) {
+    std::printf("# resumed: %zu point(s) reused from %s\n", sweep.reused,
+                flags.checkpoint.c_str());
+  }
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "perfctl: sweep interrupted; checkpoint is flushed, rerun "
+                 "with --resume to continue\n");
+    return 130;
+  }
+
+  if (!flags.golden.empty()) {
+    const auto golden = runner::load_checkpoint(flags.golden);
+    runner::SweepCheckpoint actual;
+    actual.sweep_name = "perfctl-sweep";
+    actual.points = sweep.points;
+    const auto report = runner::compare_to_golden(golden, actual);
+    std::fprintf(stderr, "%s", report.to_string().c_str());
+    if (!report.ok()) return 3;
   }
   return 0;
 }
@@ -169,16 +268,31 @@ void Usage() {
       "  sweep    [N nu_p delta mttf mttr T]\n"
       "  simulate [N nu_p delta mttf mttr rho cycles seed]\n"
       "flags:\n"
-      "  --report             print solver diagnostics (solve)\n"
+      "  --report             print solver diagnostics (solve) / progress (sweep)\n"
       "  --inject <scenario>  run a fault-injection scenario (simulate)\n"
+      "  --checkpoint <path>  sweep: append completed points to a checkpoint\n"
+      "  --resume             sweep: reuse completed points from --checkpoint\n"
+      "  --golden <path>      sweep: compare results against a golden file\n"
+      "  --timeout <seconds>  sweep: per-point wall-clock budget (0 = none)\n"
+      "  --retries <n>        sweep: attempts per point on transient failure\n"
+      "  --sim-cycles <n>     sweep: also simulate each point (n cycles)\n"
+      "  --no-isolate         sweep: run points in-process (no fork/timeout)\n"
       "%s",
       sim::scenario_grammar().c_str());
 }
 
-// Strips --report / --inject <spec> out of argv; remaining arguments keep
-// their relative order so positional parsing is unaffected.
+// Strips flags out of argv; remaining arguments keep their relative
+// order so positional parsing is unaffected.
 Flags StripFlags(int& argc, char** argv) {
   Flags flags;
+  // Flags taking a value; missing values are a usage error.
+  const auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "perfctl: %s needs a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
   int out = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--report") == 0) {
@@ -190,6 +304,21 @@ Flags StripFlags(int& argc, char** argv) {
         std::exit(1);
       }
       flags.inject = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      flags.checkpoint = value(i, "--checkpoint");
+    } else if (std::strcmp(argv[i], "--golden") == 0) {
+      flags.golden = value(i, "--golden");
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      flags.resume = true;
+    } else if (std::strcmp(argv[i], "--no-isolate") == 0) {
+      flags.isolate = false;
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      flags.timeout_seconds = std::atof(value(i, "--timeout"));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      flags.retries = static_cast<unsigned>(std::atoi(value(i, "--retries")));
+    } else if (std::strcmp(argv[i], "--sim-cycles") == 0) {
+      flags.sim_cycles =
+          static_cast<std::size_t>(std::atoll(value(i, "--sim-cycles")));
     } else {
       argv[out++] = argv[i];
     }
@@ -209,7 +338,7 @@ int main(int argc, char** argv) {
   try {
     if (std::strcmp(argv[1], "blowup") == 0) return CmdBlowup(argc, argv);
     if (std::strcmp(argv[1], "solve") == 0) return CmdSolve(argc, argv, flags);
-    if (std::strcmp(argv[1], "sweep") == 0) return CmdSweep(argc, argv);
+    if (std::strcmp(argv[1], "sweep") == 0) return CmdSweep(argc, argv, flags);
     if (std::strcmp(argv[1], "simulate") == 0)
       return CmdSimulate(argc, argv, flags);
   } catch (const qbd::SolverFailure& e) {

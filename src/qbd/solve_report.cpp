@@ -39,4 +39,15 @@ std::string SolveReport::to_string() const {
   return out;
 }
 
+std::string SolveReport::summary() const {
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "%s: %s after %u its over %zu attempt(s), defect=%.3e, "
+                "sp(R)=%.4f, rho=%.4f",
+                converged ? "converged" : "solver failed",
+                qbd::to_string(winner), iterations, attempts.size(),
+                final_defect, spectral_radius, utilization);
+  return line;
+}
+
 }  // namespace performa::qbd

@@ -44,6 +44,10 @@ struct SolveReport {
 
   /// Multi-line human-readable rendering (perfctl --report).
   std::string to_string() const;
+
+  /// Single-line rendering for contexts where the full report does not
+  /// fit (sweep-runner progress lines, checkpoint records).
+  std::string summary() const;
 };
 
 /// Solve failed after exhausting the fallback chain; carries the report.

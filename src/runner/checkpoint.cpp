@@ -1,0 +1,253 @@
+#include "runner/checkpoint.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "linalg/errors.h"
+
+namespace performa::runner {
+
+namespace {
+
+constexpr char kHeaderPrefix[] = "performa-checkpoint v";
+
+// Field separators are structural; anything the caller puts into a field
+// is flattened so a record always round-trips.
+std::string sanitize(std::string_view text, const char* forbidden) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || std::strchr(forbidden, c) != nullptr) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string header_line(const std::string& sweep_name) {
+  return std::string(kHeaderPrefix) + std::to_string(kCheckpointVersion) +
+         " " + sanitize(sweep_name, "|");
+}
+
+}  // namespace
+
+double CheckpointPoint::metric(const std::string& name) const noexcept {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const CheckpointPoint* SweepCheckpoint::find(
+    const std::string& id) const noexcept {
+  const CheckpointPoint* hit = nullptr;
+  for (const CheckpointPoint& p : points) {
+    if (p.id == id) hit = &p;  // later records win
+  }
+  return hit;
+}
+
+std::uint32_t crc32(std::string_view data) {
+  // Reflected CRC-32 (polynomial 0xEDB88320), table built on first use.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encode_point(const CheckpointPoint& point) {
+  std::string payload;
+  payload += std::to_string(point.index);
+  payload += '|';
+  payload += sanitize(point.id, "|");
+  payload += '|';
+  payload += to_string(point.outcome);
+  payload += '|';
+  payload += std::to_string(point.attempts);
+  payload += '|';
+  payload += sanitize(point.message, "|");
+  payload += '|';
+  payload += sanitize(point.rng_state, "|");
+  payload += '|';
+  for (std::size_t i = 0; i < point.metrics.size(); ++i) {
+    if (i > 0) payload += ',';
+    payload += sanitize(point.metrics[i].first, "|,=");
+    payload += '=';
+    payload += hex_double(point.metrics[i].second);
+  }
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "%08x", crc32(payload));
+  return std::string("P ") + crc + " " + payload;
+}
+
+bool decode_point(const std::string& line, CheckpointPoint& out) {
+  // "P <8 hex> <payload>"
+  if (line.size() < 11 || line.compare(0, 2, "P ") != 0 || line[10] != ' ') {
+    return false;
+  }
+  const std::string crc_text = line.substr(2, 8);
+  char* end = nullptr;
+  const unsigned long crc_stored = std::strtoul(crc_text.c_str(), &end, 16);
+  if (end != crc_text.c_str() + 8) return false;
+  const std::string payload = line.substr(11);
+  if (crc32(payload) != static_cast<std::uint32_t>(crc_stored)) return false;
+
+  const std::vector<std::string> fields = split(payload, '|');
+  if (fields.size() != 7) return false;
+
+  CheckpointPoint p;
+  std::size_t attempts = 0;
+  if (!parse_size(fields[0], p.index)) return false;
+  p.id = fields[1];
+  if (!outcome_from_string(fields[2], p.outcome)) return false;
+  if (!parse_size(fields[3], attempts)) return false;
+  p.attempts = static_cast<unsigned>(attempts);
+  p.message = fields[4];
+  p.rng_state = fields[5];
+  if (!fields[6].empty()) {
+    for (const std::string& pair : split(fields[6], ',')) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      double value = 0.0;
+      if (!parse_double(pair.substr(eq + 1), value)) return false;
+      p.metrics.emplace_back(pair.substr(0, eq), value);
+    }
+  }
+  out = std::move(p);
+  return true;
+}
+
+void open_checkpoint(const std::string& path, const std::string& sweep_name) {
+  PERFORMA_EXPECTS(!path.empty(), "open_checkpoint: empty path");
+  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
+    char line[512];
+    const bool got = std::fgets(line, sizeof line, existing) != nullptr;
+    std::fclose(existing);
+    std::string have = got ? line : "";
+    while (!have.empty() && (have.back() == '\n' || have.back() == '\r')) {
+      have.pop_back();
+    }
+    PERFORMA_EXPECTS(
+        have == header_line(sweep_name),
+        "open_checkpoint: '" + path + "' exists but its header does not "
+        "match this sweep/version (have '" + have + "', want '" +
+        header_line(sweep_name) + "')");
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw NumericalError("open_checkpoint: cannot create '" + path + "'");
+  }
+  std::fprintf(f, "%s\n", header_line(sweep_name).c_str());
+  std::fflush(f);
+  std::fclose(f);
+}
+
+void append_point(const std::string& path, const CheckpointPoint& point) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw NumericalError("append_point: cannot open '" + path + "'");
+  }
+  std::fprintf(f, "%s\n", encode_point(point).c_str());
+  std::fflush(f);
+  std::fclose(f);
+}
+
+SweepCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw NumericalError("load_checkpoint: cannot open '" + path + "'");
+  }
+  SweepCheckpoint ck;
+  std::string line;
+  char buf[4096];
+  bool saw_header = false;
+  bool line_done;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line += buf;
+    line_done = !line.empty() && line.back() == '\n';
+    if (!line_done && !std::feof(f)) continue;  // long line, keep reading
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!saw_header) {
+      const std::string want =
+          std::string(kHeaderPrefix) + std::to_string(kCheckpointVersion) + " ";
+      if (line.compare(0, want.size(), want) != 0) {
+        std::fclose(f);
+        throw InvalidArgument(
+            "load_checkpoint: '" + path + "' is not a v" +
+            std::to_string(kCheckpointVersion) + " checkpoint (header '" +
+            line + "')");
+      }
+      ck.sweep_name = line.substr(want.size());
+      saw_header = true;
+    } else if (!line.empty()) {
+      CheckpointPoint p;
+      if (decode_point(line, p)) {
+        ck.points.push_back(std::move(p));
+      } else {
+        ++ck.dropped_records;  // torn append (SIGKILL mid-write) or damage
+      }
+    }
+    line.clear();
+  }
+  std::fclose(f);
+  if (!saw_header) {
+    throw InvalidArgument("load_checkpoint: '" + path + "' is empty");
+  }
+  return ck;
+}
+
+}  // namespace performa::runner

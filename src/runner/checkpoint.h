@@ -1,0 +1,78 @@
+// Versioned, checksummed, append-only sweep checkpoints.
+//
+// A checkpoint is a text file: one header line declaring the format
+// version and the sweep name, then one self-checksummed record per
+// completed point. Records are appended (and flushed) as points finish,
+// so the file is crash-consistent by construction: a SIGKILL can at
+// worst truncate the final record, which the loader detects via its
+// CRC-32 and drops, keeping every earlier point. Metric values are
+// stored as C99 hex-floats, so a resumed sweep reproduces prior numbers
+// bit-exactly.
+//
+//   performa-checkpoint v1 <sweep-name>
+//   P <crc32-hex> <index>|<id>|<outcome>|<attempts>|<message>|<rng>|<metrics>
+//
+// <metrics> is `name=hexfloat` pairs joined with ','. The CRC covers
+// everything after the "P <crc32-hex> " prefix. Golden-result files use
+// the same format: a verified checkpoint *is* a golden file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runner/outcome.h"
+
+namespace performa::runner {
+
+inline constexpr int kCheckpointVersion = 1;
+
+/// One completed (or degraded) experiment point.
+struct CheckpointPoint {
+  std::size_t index = 0;   ///< position in the sweep's point list
+  std::string id;          ///< stable point identifier, e.g. "rho=0.35"
+  Outcome outcome = Outcome::kOk;
+  unsigned attempts = 1;   ///< executions consumed (retries included)
+  std::string message;     ///< diagnostics for degraded points
+  std::string rng_state;   ///< simulator RNG-stream position (optional)
+  /// Metric values in emission order; empty for degraded points.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Value of one metric; NaN when absent.
+  double metric(const std::string& name) const noexcept;
+};
+
+/// A loaded checkpoint file.
+struct SweepCheckpoint {
+  std::string sweep_name;
+  std::vector<CheckpointPoint> points;   ///< in file order, duplicates kept
+  std::size_t dropped_records = 0;       ///< corrupt/truncated lines skipped
+
+  /// Latest record for `id` (appends win), or nullptr.
+  const CheckpointPoint* find(const std::string& id) const noexcept;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Create `path` with a fresh v1 header when it does not exist; when it
+/// does, validate that the header matches this version and sweep name
+/// (resuming a different sweep into the file is almost certainly a
+/// mistake). Throws InvalidArgument on mismatch, NumericalError on I/O
+/// failure.
+void open_checkpoint(const std::string& path, const std::string& sweep_name);
+
+/// Append one point record and flush it to disk.
+void append_point(const std::string& path, const CheckpointPoint& point);
+
+/// Load a checkpoint. Corrupt or truncated records are counted in
+/// dropped_records and skipped; a bad header throws InvalidArgument.
+SweepCheckpoint load_checkpoint(const std::string& path);
+
+// Record codec, exposed for tests.
+std::string encode_point(const CheckpointPoint& point);
+bool decode_point(const std::string& line, CheckpointPoint& out);
+
+}  // namespace performa::runner

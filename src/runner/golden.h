@@ -1,0 +1,63 @@
+// Golden-result regression comparison.
+//
+// A golden file is simply a checkpoint that has been reviewed and
+// committed; comparing a fresh sweep against it turns "the numbers
+// moved" into a structured report with per-metric relative tolerances
+// instead of an eyeball diff of CSV dumps.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/checkpoint.h"
+
+namespace performa::runner {
+
+struct GoldenTolerances {
+  /// Relative tolerance applied to any metric without an override.
+  /// The default is intentionally tight: a correct resume is bit-exact,
+  /// so golden comparisons should only be loosened on purpose.
+  double default_rel_tol = 1e-12;
+  /// Absolute slack: |actual - expected| <= abs_floor always passes
+  /// (guards metrics whose golden value is exactly 0).
+  double abs_floor = 0.0;
+  /// Per-metric overrides of the relative tolerance.
+  std::vector<std::pair<std::string, double>> per_metric;
+
+  double tolerance_for(const std::string& metric) const noexcept;
+};
+
+/// One disagreement between golden and actual.
+struct GoldenDiff {
+  enum class Kind {
+    kMissingPoint,    ///< golden point absent from the actual sweep
+    kOutcome,         ///< outcomes differ (e.g. ok -> solver-failure)
+    kMissingMetric,   ///< metric present in golden, absent in actual
+    kValue,           ///< metric outside tolerance
+  };
+  Kind kind = Kind::kValue;
+  std::string point_id;
+  std::string metric;        ///< empty for point-level diffs
+  double expected = 0.0;
+  double actual = 0.0;
+  double rel_error = 0.0;
+};
+
+struct GoldenReport {
+  std::vector<GoldenDiff> diffs;
+  std::size_t points_compared = 0;
+  std::size_t metrics_compared = 0;
+
+  bool ok() const noexcept { return diffs.empty(); }
+  std::string to_string() const;
+};
+
+/// Compare an actual sweep against a golden one. Degraded golden points
+/// (outcome != ok) only require the outcome to match; extra points in
+/// the actual sweep are ignored (supersets are fine).
+GoldenReport compare_to_golden(const SweepCheckpoint& golden,
+                               const SweepCheckpoint& actual,
+                               const GoldenTolerances& tol = {});
+
+}  // namespace performa::runner

@@ -1,0 +1,79 @@
+#include "runner/outcome.h"
+
+#include <exception>
+
+#include "qbd/solve_report.h"
+
+namespace performa::runner {
+
+const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kTimeout:
+      return "timeout";
+    case Outcome::kCrash:
+      return "crash";
+    case Outcome::kSolverFailure:
+      return "solver-failure";
+    case Outcome::kUnstableModel:
+      return "unstable-model";
+  }
+  return "?";
+}
+
+bool outcome_from_string(std::string_view text, Outcome& out) noexcept {
+  for (Outcome o : {Outcome::kOk, Outcome::kTimeout, Outcome::kCrash,
+                    Outcome::kSolverFailure, Outcome::kUnstableModel}) {
+    if (text == to_string(o)) {
+      out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_transient(Outcome o) noexcept {
+  return o == Outcome::kTimeout || o == Outcome::kCrash;
+}
+
+Outcome outcome_from_exit_code(int code) noexcept {
+  switch (code) {
+    case kExitOk:
+      return Outcome::kOk;
+    case kExitSolverFailure:
+      return Outcome::kSolverFailure;
+    case kExitUnstableModel:
+      return Outcome::kUnstableModel;
+    default:
+      return Outcome::kCrash;
+  }
+}
+
+ClassifiedError classify_current_exception() noexcept {
+  ClassifiedError e;
+  try {
+    throw;
+  } catch (const qbd::UnstableModel& ex) {
+    e.exit_code = kExitUnstableModel;
+    e.outcome = Outcome::kUnstableModel;
+    e.message = ex.what();
+  } catch (const qbd::SolverFailure& ex) {
+    e.exit_code = kExitSolverFailure;
+    e.outcome = Outcome::kSolverFailure;
+    // The full report is multi-line; the compact summary travels better
+    // through checkpoint records and progress lines.
+    e.message = ex.report().summary();
+  } catch (const std::exception& ex) {
+    e.exit_code = kExitError;
+    e.outcome = Outcome::kCrash;
+    e.message = ex.what();
+  } catch (...) {
+    e.exit_code = kExitError;
+    e.outcome = Outcome::kCrash;
+    e.message = "unknown exception";
+  }
+  return e;
+}
+
+}  // namespace performa::runner

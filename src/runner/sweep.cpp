@@ -1,0 +1,154 @@
+#include "runner/sweep.h"
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "linalg/errors.h"
+#include "sim/random.h"
+
+namespace performa::runner {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int signo) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  // Restore the default disposition: the first signal requests a clean
+  // wind-down, a second one kills the process the usual way.
+  ::signal(signo, SIG_DFL);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll/nanosleep must wake up
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool sweep_interrupted() noexcept {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void raise_interrupt() noexcept {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void clear_interrupt() noexcept {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+SweepResult run_sweep(const std::string& name,
+                      const std::vector<SweepPointSpec>& specs,
+                      const SweepOptions& options) {
+  options.retry.validate();
+  PERFORMA_EXPECTS(options.timeout_seconds >= 0.0,
+                   "run_sweep: timeout must be >= 0");
+  PERFORMA_EXPECTS(options.isolate || options.timeout_seconds == 0.0,
+                   "run_sweep: timeouts require subprocess isolation");
+  PERFORMA_EXPECTS(!options.resume || !options.checkpoint_path.empty(),
+                   "run_sweep: resume needs a checkpoint path");
+  {
+    std::set<std::string> ids;
+    for (const SweepPointSpec& s : specs) {
+      PERFORMA_EXPECTS(!s.id.empty() && static_cast<bool>(s.fn),
+                       "run_sweep: every point needs an id and a function");
+      PERFORMA_EXPECTS(ids.insert(s.id).second,
+                       "run_sweep: duplicate point id '" + s.id + "'");
+    }
+  }
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  SweepCheckpoint prior;
+  if (checkpointing) {
+    open_checkpoint(options.checkpoint_path, name);
+    if (options.resume) {
+      prior = load_checkpoint(options.checkpoint_path);
+      if (options.verbose && prior.dropped_records > 0) {
+        std::fprintf(stderr,
+                     "[sweep %s] dropped %zu torn checkpoint record(s)\n",
+                     name.c_str(), prior.dropped_records);
+      }
+    }
+  }
+
+  SweepResult sweep;
+  sweep.points.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (sweep_interrupted()) {
+      sweep.interrupted = true;
+      break;
+    }
+    const SweepPointSpec& spec = specs[i];
+
+    // Resume: trust completed points, give degraded ones a fresh chance.
+    if (options.resume) {
+      if (const CheckpointPoint* done = prior.find(spec.id);
+          done != nullptr && done->outcome == Outcome::kOk) {
+        sweep.points.push_back(*done);
+        ++sweep.reused;
+        if (options.verbose) {
+          std::fprintf(stderr, "[sweep %s] %s: reused from checkpoint\n",
+                       name.c_str(), spec.id.c_str());
+        }
+        continue;
+      }
+    }
+
+    CheckpointPoint record;
+    record.index = i;
+    record.id = spec.id;
+    for (unsigned attempt = 1;; ++attempt) {
+      const WorkerReport report =
+          options.isolate
+              ? run_point_isolated(spec.fn, options.timeout_seconds)
+              : run_point_inline(spec.fn);
+      if (sweep_interrupted()) {
+        // The worker likely died from the same signal (same process
+        // group); do not record a bogus crash for it.
+        sweep.interrupted = true;
+        break;
+      }
+      record.outcome = report.outcome;
+      record.attempts = attempt;
+      record.message = report.message;
+      if (report.outcome == Outcome::kOk) {
+        record.metrics = report.result.metrics;
+        record.rng_state = report.result.rng_state;
+        break;
+      }
+      if (options.verbose) {
+        std::fprintf(stderr, "[sweep %s] %s: attempt %u -> %s (%s)\n",
+                     name.c_str(), spec.id.c_str(), attempt,
+                     to_string(report.outcome), report.message.c_str());
+      }
+      if (!is_transient(report.outcome) ||
+          attempt >= options.retry.max_attempts) {
+        break;  // record the degraded placeholder and move on
+      }
+      const double backoff = options.retry.backoff_seconds(
+          attempt, sim::derive_seed(options.backoff_seed, i));
+      sleep_seconds(backoff);
+    }
+    if (sweep.interrupted) break;
+
+    if (record.outcome != Outcome::kOk) ++sweep.degraded;
+    if (checkpointing) append_point(options.checkpoint_path, record);
+    if (options.verbose) {
+      std::fprintf(stderr, "[sweep %s] %s: %s after %u attempt(s)\n",
+                   name.c_str(), spec.id.c_str(), to_string(record.outcome),
+                   record.attempts);
+    }
+    sweep.points.push_back(std::move(record));
+  }
+  return sweep;
+}
+
+}  // namespace performa::runner

@@ -1,0 +1,85 @@
+// Supervised sweep execution: the resilience layer between "a list of
+// experiment points" and "a list of results".
+//
+// Each point runs in an isolated worker (see worker.h) under a
+// wall-clock timeout; transient failures (timeout, crash) are retried
+// with capped, jittered exponential backoff; deterministic failures
+// (solver failure, unstable model) are recorded once as degraded
+// placeholder points and the sweep *continues*. Completed points are
+// appended to a checksummed checkpoint file as they finish, so a killed
+// sweep restarted with resume=true re-reads the checkpoint, reuses every
+// completed point bit-exactly (metrics are persisted as hex-floats) and
+// only re-executes what is missing. SIGINT/SIGTERM raise a flag that
+// winds the sweep down at the next point boundary -- the checkpoint is
+// already flushed point-by-point, so the final state is always on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.h"
+#include "runner/retry.h"
+#include "runner/worker.h"
+
+namespace performa::runner {
+
+/// One point of a sweep: a stable identifier plus the computation.
+struct SweepPointSpec {
+  std::string id;
+  PointFn fn;
+};
+
+struct SweepOptions {
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Reuse completed points from the checkpoint instead of re-running
+  /// them. Points previously recorded as degraded are retried (they get
+  /// a fresh chance); ok points are trusted bit-exactly.
+  bool resume = false;
+  /// Per-attempt wall-clock budget for one point; 0 = unlimited.
+  /// Requires isolate (an in-process point cannot be preempted).
+  double timeout_seconds = 0.0;
+  RetryPolicy retry;
+  /// Run points in forked worker subprocesses (the default). Disable
+  /// only where fork is unavailable; inline points lose timeout
+  /// enforcement and crash containment.
+  bool isolate = true;
+  /// Seed for the deterministic retry-backoff jitter.
+  std::uint64_t backoff_seed = 0x9e3779b9ULL;
+  /// Progress notes on stderr (one line per point).
+  bool verbose = false;
+};
+
+/// What a sweep produced: one record per requested point, in request
+/// order -- unless the sweep was interrupted, in which case the tail of
+/// the point list is absent.
+struct SweepResult {
+  std::vector<CheckpointPoint> points;
+  std::size_t reused = 0;      ///< points restored from the checkpoint
+  std::size_t degraded = 0;    ///< points recorded with outcome != ok
+  bool interrupted = false;    ///< SIGINT/SIGTERM stopped the sweep early
+};
+
+/// Install SIGINT/SIGTERM handlers that raise the sweep interrupt flag
+/// (idempotent). The sweep then stops at the next point boundary with
+/// the checkpoint fully flushed; a second signal falls back to the
+/// default disposition, so a stuck sweep can still be killed hard.
+void install_signal_handlers();
+
+/// True once SIGINT/SIGTERM was received (or raise_interrupt was called).
+bool sweep_interrupted() noexcept;
+
+/// Raise / clear the interrupt flag programmatically (tests, embedders).
+void raise_interrupt() noexcept;
+void clear_interrupt() noexcept;
+
+/// Execute a sweep under supervision. `name` identifies the sweep in
+/// checkpoint headers (resuming into a checkpoint of a different sweep
+/// throws). Throws InvalidArgument on inconsistent options; worker
+/// misbehaviour never throws.
+SweepResult run_sweep(const std::string& name,
+                      const std::vector<SweepPointSpec>& points,
+                      const SweepOptions& options);
+
+}  // namespace performa::runner

@@ -1,0 +1,56 @@
+// Isolated execution of one experiment point.
+//
+// Each point runs in a forked worker subprocess: a hang is contained by
+// a wall-clock timeout (the worker is SIGKILLed), a crash (segfault,
+// abort, OOM kill) takes down only the worker, and deterministic model
+// failures travel back as dedicated exit codes. Results cross the
+// parent/worker pipe as `metric <name> <hexfloat>` lines terminated by
+// an `ok` sentinel, so a torn write (worker died mid-result) is
+// detectable and classified as a crash rather than parsed as truth.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/outcome.h"
+
+namespace performa::runner {
+
+/// What one experiment point computes: named metric values in emission
+/// order, plus (optionally) the simulator RNG-stream position consumed,
+/// which the checkpoint layer persists for replay audits.
+struct PointResult {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string rng_state;
+};
+
+/// Computes one point. Runs inside the forked worker when isolation is
+/// on, so it must not depend on being able to mutate parent state.
+using PointFn = std::function<PointResult()>;
+
+/// One execution attempt, classified.
+struct WorkerReport {
+  Outcome outcome = Outcome::kCrash;
+  PointResult result;      ///< meaningful only when outcome == kOk
+  std::string message;     ///< diagnostics (exception text, signal, ...)
+  double elapsed_seconds = 0.0;
+};
+
+/// Run `fn` in a forked subprocess with a wall-clock timeout
+/// (0 = unlimited). On timeout the worker is SIGKILLed and the attempt
+/// reports kTimeout. Never throws on worker misbehaviour -- that is the
+/// point -- only on supervisor-side failures (fork/pipe exhaustion).
+WorkerReport run_point_isolated(const PointFn& fn, double timeout_seconds);
+
+/// Run `fn` in-process (no fork, no timeout enforcement): used where
+/// subprocesses are unavailable or undesired. Exceptions are classified
+/// exactly like worker exit codes.
+WorkerReport run_point_inline(const PointFn& fn);
+
+// Result-payload codec shared with the worker child, exposed for tests.
+std::string encode_result(const PointResult& result);
+bool decode_result(const std::string& payload, PointResult& out);
+
+}  // namespace performa::runner

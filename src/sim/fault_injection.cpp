@@ -24,19 +24,34 @@ void FaultPlan::validate() const {
 
 namespace {
 
-// "name-<number>@<number>" clause helpers. std::strtod accepts the exact
-// grammar we document; anything trailing is a parse error.
-double parse_number(const std::string& text, const char* clause) {
+// Every parse error names the offending token and its 1-based column in
+// the full spec, so a typo deep inside a combined scenario like
+// "common-mode-2@50+burst-x@120" is pinpointed instead of reported as a
+// generic clause failure:
+//   parse_scenario: bad number 'x' at position 24 in 'common-mode-...'
+[[noreturn]] void fail(const std::string& spec, std::size_t offset,
+                       const std::string& token, const std::string& why) {
+  throw InvalidArgument("parse_scenario: " + why + " '" +
+                        (token.empty() ? "<empty>" : token) +
+                        "' at position " + std::to_string(offset + 1) +
+                        " in '" + spec + "'\n" + scenario_grammar());
+}
+
+// std::strtod accepts the exact number grammar we document; anything
+// trailing is a parse error. `offset` is the token's index in `spec`.
+double parse_number(const std::string& spec, std::size_t offset,
+                    const std::string& text) {
   const char* begin = text.c_str();
   char* end = nullptr;
   const double value = std::strtod(begin, &end);
-  PERFORMA_EXPECTS(end == begin + text.size() && text.size() > 0,
-                   std::string("parse_scenario: bad number in clause '") +
-                       clause + "'");
+  if (text.empty() || end != begin + text.size()) {
+    fail(spec, offset, text, "bad number");
+  }
   return value;
 }
 
-void parse_clause(const std::string& clause, FaultPlan& plan) {
+void parse_clause(const std::string& spec, std::size_t offset,
+                  const std::string& clause, FaultPlan& plan) {
   auto starts_with = [&clause](const char* prefix) {
     return clause.rfind(prefix, 0) == 0;
   };
@@ -49,22 +64,24 @@ void parse_clause(const std::string& clause, FaultPlan& plan) {
     return;
   }
   if (starts_with("refail-")) {
-    plan.repair_preemption = parse_number(clause.substr(7), clause.c_str());
+    plan.repair_preemption = parse_number(spec, offset + 7, clause.substr(7));
     return;
   }
   if (starts_with("common-mode-") || starts_with("burst-")) {
     const bool crash = starts_with("common-mode-");
     const std::size_t head = crash ? 12 : 6;
     const std::size_t at = clause.find('@');
-    PERFORMA_EXPECTS(at != std::string::npos && at > head,
-                     std::string("parse_scenario: clause '") + clause +
-                         "' needs <size>@<time>");
-    const double size =
-        parse_number(clause.substr(head, at - head), clause.c_str());
-    const double time = parse_number(clause.substr(at + 1), clause.c_str());
-    PERFORMA_EXPECTS(size >= 1.0 && size == std::floor(size),
-                     std::string("parse_scenario: size in '") + clause +
-                         "' must be a positive integer");
+    if (at == std::string::npos || at <= head) {
+      fail(spec, offset, clause, "expected <size>@<time> in clause");
+    }
+    const std::string size_token = clause.substr(head, at - head);
+    const double size = parse_number(spec, offset + head, size_token);
+    const double time =
+        parse_number(spec, offset + at + 1, clause.substr(at + 1));
+    if (!(size >= 1.0 && size == std::floor(size))) {
+      fail(spec, offset + head, size_token,
+           "size must be a positive integer, got");
+    }
     if (crash) {
       plan.crashes.push_back({time, static_cast<unsigned>(size)});
     } else {
@@ -72,8 +89,7 @@ void parse_clause(const std::string& clause, FaultPlan& plan) {
     }
     return;
   }
-  throw InvalidArgument(std::string("parse_scenario: unknown clause '") +
-                        clause + "'\n" + scenario_grammar());
+  fail(spec, offset, clause, "unknown clause");
 }
 
 }  // namespace
@@ -85,7 +101,7 @@ FaultPlan parse_scenario(const std::string& spec) {
   while (start <= spec.size()) {
     const std::size_t plus = spec.find('+', start);
     const std::size_t end = plus == std::string::npos ? spec.size() : plus;
-    parse_clause(spec.substr(start, end - start), plan);
+    parse_clause(spec, start, spec.substr(start, end - start), plan);
     if (plus == std::string::npos) break;
     start = plus + 1;
   }

@@ -1,0 +1,648 @@
+// Tests for the supervised sweep runner: outcome taxonomy, checksummed
+// checkpoints, worker isolation/classification, retry backoff, golden
+// comparison, and the headline acceptance drill -- a sweep SIGKILLed
+// mid-run resumes bit-exactly from its checkpoint.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/errors.h"
+#include "qbd/solve_report.h"
+#include "runner/checkpoint.h"
+#include "runner/golden.h"
+#include "runner/outcome.h"
+#include "runner/retry.h"
+#include "runner/sweep.h"
+#include "runner/worker.h"
+#include "sim/random.h"
+
+namespace performa::runner {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "performa_runner_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::size_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::size_t>(in.tellg()) : 0;
+}
+
+void AppendByte(const std::string& path) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  out.put('x');
+}
+
+// --- outcome taxonomy ------------------------------------------------
+
+TEST(Outcome, StringsRoundTrip) {
+  for (Outcome o : {Outcome::kOk, Outcome::kTimeout, Outcome::kCrash,
+                    Outcome::kSolverFailure, Outcome::kUnstableModel}) {
+    Outcome back = Outcome::kCrash;
+    ASSERT_TRUE(outcome_from_string(to_string(o), back)) << to_string(o);
+    EXPECT_EQ(back, o);
+  }
+  Outcome back = Outcome::kOk;
+  EXPECT_FALSE(outcome_from_string("partially-ok", back));
+}
+
+TEST(Outcome, TransientVsDeterministic) {
+  EXPECT_TRUE(is_transient(Outcome::kTimeout));
+  EXPECT_TRUE(is_transient(Outcome::kCrash));
+  EXPECT_FALSE(is_transient(Outcome::kOk));
+  EXPECT_FALSE(is_transient(Outcome::kSolverFailure));
+  EXPECT_FALSE(is_transient(Outcome::kUnstableModel));
+}
+
+TEST(Outcome, ExitCodeMapping) {
+  EXPECT_EQ(outcome_from_exit_code(kExitOk), Outcome::kOk);
+  EXPECT_EQ(outcome_from_exit_code(kExitSolverFailure),
+            Outcome::kSolverFailure);
+  EXPECT_EQ(outcome_from_exit_code(kExitUnstableModel),
+            Outcome::kUnstableModel);
+  EXPECT_EQ(outcome_from_exit_code(kExitError), Outcome::kCrash);
+  EXPECT_EQ(outcome_from_exit_code(7), Outcome::kCrash);  // unknown code
+}
+
+// --- checkpoint codec and file I/O -----------------------------------
+
+TEST(Checkpoint, Crc32KnownVectors) {
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);  // IEEE 802.3 check value
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Checkpoint, PointCodecRoundTripsBitExactly) {
+  CheckpointPoint p;
+  p.index = 12;
+  p.id = "rho=0.65";
+  p.outcome = Outcome::kOk;
+  p.attempts = 2;
+  p.message = "second attempt won";
+  p.rng_state = "12345 67890 42";
+  p.metrics = {{"mean_ql", 62.0817234567891},
+               {"tiny", 4.9406564584124654e-324},  // denormal min
+               {"inf", std::numeric_limits<double>::infinity()},
+               {"neg", -0.0}};
+  CheckpointPoint q;
+  ASSERT_TRUE(decode_point(encode_point(p), q));
+  EXPECT_EQ(q.index, p.index);
+  EXPECT_EQ(q.id, p.id);
+  EXPECT_EQ(q.outcome, p.outcome);
+  EXPECT_EQ(q.attempts, p.attempts);
+  EXPECT_EQ(q.message, p.message);
+  EXPECT_EQ(q.rng_state, p.rng_state);
+  ASSERT_EQ(q.metrics.size(), p.metrics.size());
+  for (std::size_t i = 0; i < p.metrics.size(); ++i) {
+    EXPECT_EQ(q.metrics[i].first, p.metrics[i].first);
+    EXPECT_TRUE(BitEqual(q.metrics[i].second, p.metrics[i].second))
+        << p.metrics[i].first;
+  }
+}
+
+TEST(Checkpoint, CodecRejectsCorruption) {
+  CheckpointPoint p;
+  p.id = "x";
+  p.metrics = {{"a", 1.0}};
+  std::string line = encode_point(p);
+  CheckpointPoint out;
+  ASSERT_TRUE(decode_point(line, out));
+  std::string flipped = line;
+  flipped[flipped.size() / 2] ^= 0x20;  // flip one payload character
+  EXPECT_FALSE(decode_point(flipped, out));
+  EXPECT_FALSE(decode_point(line.substr(0, line.size() - 3), out));
+  EXPECT_FALSE(decode_point("not a record", out));
+}
+
+TEST(Checkpoint, AppendLoadRoundTripAndAppendsWin) {
+  const std::string path = TempPath("roundtrip.ck");
+  std::remove(path.c_str());
+  open_checkpoint(path, "unit-sweep");
+
+  CheckpointPoint ok;
+  ok.index = 0;
+  ok.id = "p0";
+  ok.metrics = {{"v", 0.1234567890123456789}};
+  ok.rng_state = "999 888";
+  append_point(path, ok);
+
+  CheckpointPoint bad;
+  bad.index = 1;
+  bad.id = "p1";
+  bad.outcome = Outcome::kSolverFailure;
+  bad.attempts = 1;
+  bad.message = "fallback chain exhausted";
+  append_point(path, bad);
+
+  // A later record for p1 supersedes the degraded one.
+  CheckpointPoint redo = bad;
+  redo.outcome = Outcome::kOk;
+  redo.attempts = 1;
+  redo.message.clear();
+  redo.metrics = {{"v", 2.5}};
+  append_point(path, redo);
+
+  const auto ck = load_checkpoint(path);
+  EXPECT_EQ(ck.sweep_name, "unit-sweep");
+  EXPECT_EQ(ck.dropped_records, 0u);
+  ASSERT_EQ(ck.points.size(), 3u);
+  EXPECT_TRUE(BitEqual(ck.points[0].metric("v"), ok.metrics[0].second));
+  EXPECT_EQ(ck.points[0].rng_state, "999 888");
+  EXPECT_EQ(ck.points[1].outcome, Outcome::kSolverFailure);
+  EXPECT_TRUE(std::isnan(ck.points[1].metric("v")));
+
+  const CheckpointPoint* latest = ck.find("p1");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->outcome, Outcome::kOk);
+  EXPECT_TRUE(BitEqual(latest->metric("v"), 2.5));
+  EXPECT_EQ(ck.find("nope"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoaderDropsTornAndCorruptTail) {
+  const std::string path = TempPath("torn.ck");
+  std::remove(path.c_str());
+  open_checkpoint(path, "torn-sweep");
+  CheckpointPoint p;
+  p.id = "good";
+  p.metrics = {{"v", 1.0}};
+  append_point(path, p);
+  {
+    // Simulate a SIGKILL mid-append: a record missing its tail, then a
+    // line of garbage.
+    std::ofstream out(path, std::ios::app);
+    out << "P deadbeef 1|torn|ok|1|||v=0x1.8p+";  // truncated, no newline
+  }
+  const auto ck = load_checkpoint(path);
+  ASSERT_EQ(ck.points.size(), 1u);
+  EXPECT_EQ(ck.points[0].id, "good");
+  EXPECT_EQ(ck.dropped_records, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HeaderGuardsSweepIdentity) {
+  const std::string path = TempPath("header.ck");
+  std::remove(path.c_str());
+  open_checkpoint(path, "sweep-a");
+  open_checkpoint(path, "sweep-a");  // idempotent reopen is fine
+  EXPECT_THROW(open_checkpoint(path, "sweep-b"), InvalidArgument);
+
+  const std::string junk = TempPath("junk.ck");
+  {
+    std::ofstream out(junk);
+    out << "this is not a checkpoint\n";
+  }
+  EXPECT_THROW(load_checkpoint(junk), InvalidArgument);
+  std::remove(path.c_str());
+  std::remove(junk.c_str());
+}
+
+// --- retry policy -----------------------------------------------------
+
+TEST(Retry, BackoffIsDeterministicCappedAndJittered) {
+  RetryPolicy plain;
+  plain.initial_backoff_seconds = 0.5;
+  plain.multiplier = 2.0;
+  plain.max_backoff_seconds = 3.0;
+  plain.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(plain.backoff_seconds(1, 9), 0.5);
+  EXPECT_DOUBLE_EQ(plain.backoff_seconds(2, 9), 1.0);
+  EXPECT_DOUBLE_EQ(plain.backoff_seconds(3, 9), 2.0);
+  EXPECT_DOUBLE_EQ(plain.backoff_seconds(4, 9), 3.0);   // capped
+  EXPECT_DOUBLE_EQ(plain.backoff_seconds(20, 9), 3.0);  // stays capped
+
+  RetryPolicy jit;
+  jit.jitter = 0.25;
+  for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+    const double base = plain.backoff_seconds(
+        attempt, 0);  // jitter-free reference with same schedule
+    RetryPolicy ref = jit;
+    ref.max_backoff_seconds = plain.max_backoff_seconds;
+    const double a = ref.backoff_seconds(attempt, 1234);
+    const double b = ref.backoff_seconds(attempt, 1234);
+    EXPECT_TRUE(BitEqual(a, b)) << "backoff must be deterministic";
+    EXPECT_GE(a, 0.75 * base);
+    EXPECT_LE(a, 1.25 * base);
+  }
+}
+
+TEST(Retry, PolicyValidation) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = RetryPolicy{};
+  p.multiplier = 0.5;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = RetryPolicy{};
+  p.jitter = 1.5;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = RetryPolicy{};
+  p.initial_backoff_seconds = -1.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  RetryPolicy{}.validate();  // defaults are sane
+}
+
+// --- worker isolation and classification ------------------------------
+
+TEST(Worker, ResultCodecRoundTrips) {
+  PointResult r;
+  r.metrics = {{"a", 1.5}, {"b", std::numeric_limits<double>::infinity()}};
+  r.rng_state = "state with spaces 17";
+  PointResult out;
+  ASSERT_TRUE(decode_result(encode_result(r), out));
+  ASSERT_EQ(out.metrics.size(), 2u);
+  EXPECT_TRUE(BitEqual(out.metrics[0].second, 1.5));
+  EXPECT_EQ(out.rng_state, r.rng_state);
+  // A torn payload (no ok sentinel) must not decode as truth.
+  EXPECT_FALSE(decode_result("metric a 0x1.8p+0\n", out));
+}
+
+TEST(Worker, DeliversResultFromSubprocess) {
+  const auto report = run_point_isolated(
+      []() {
+        PointResult r;
+        r.metrics = {{"answer", 42.0e-3}};
+        r.rng_state = "rng here";
+        return r;
+      },
+      0.0);
+  ASSERT_EQ(report.outcome, Outcome::kOk);
+  ASSERT_EQ(report.result.metrics.size(), 1u);
+  EXPECT_TRUE(BitEqual(report.result.metrics[0].second, 42.0e-3));
+  EXPECT_EQ(report.result.rng_state, "rng here");
+  EXPECT_GE(report.elapsed_seconds, 0.0);
+}
+
+TEST(Worker, SigkillsHungPointAtTimeout) {
+  const auto report = run_point_isolated(
+      []() {
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        return PointResult{};
+      },
+      0.2);
+  EXPECT_EQ(report.outcome, Outcome::kTimeout);
+  EXPECT_LT(report.elapsed_seconds, 10.0);
+}
+
+TEST(Worker, ClassifiesCrash) {
+  const auto report = run_point_isolated(
+      []() -> PointResult { std::abort(); }, 0.0);
+  EXPECT_EQ(report.outcome, Outcome::kCrash);
+  EXPECT_FALSE(report.message.empty());
+}
+
+TEST(Worker, ClassifiesSolverFailure) {
+  const auto report = run_point_isolated(
+      []() -> PointResult {
+        throw qbd::SolverFailure("no convergence", qbd::SolveReport{});
+      },
+      0.0);
+  EXPECT_EQ(report.outcome, Outcome::kSolverFailure);
+  EXPECT_FALSE(report.message.empty());
+}
+
+TEST(Worker, ClassifiesUnstableModel) {
+  const auto report = run_point_isolated(
+      []() -> PointResult { throw qbd::UnstableModel("rho >= 1", 1.07); },
+      0.0);
+  EXPECT_EQ(report.outcome, Outcome::kUnstableModel);
+}
+
+TEST(Worker, InlineExecutionClassifiesLikeSubprocess) {
+  auto ok = run_point_inline([]() {
+    PointResult r;
+    r.metrics = {{"v", 7.0}};
+    return r;
+  });
+  EXPECT_EQ(ok.outcome, Outcome::kOk);
+  EXPECT_TRUE(BitEqual(ok.result.metrics.at(0).second, 7.0));
+
+  auto unstable = run_point_inline(
+      []() -> PointResult { throw qbd::UnstableModel("rho >= 1", 1.2); });
+  EXPECT_EQ(unstable.outcome, Outcome::kUnstableModel);
+
+  auto crash = run_point_inline(
+      []() -> PointResult { throw std::runtime_error("boom"); });
+  EXPECT_EQ(crash.outcome, Outcome::kCrash);
+  EXPECT_EQ(crash.message, "boom");
+}
+
+// --- run_sweep supervision --------------------------------------------
+
+RetryPolicy FastRetries(unsigned attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff_seconds = 0.01;
+  p.multiplier = 1.0;
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(SweepRunner, ValidatesOptions) {
+  std::vector<SweepPointSpec> pts;
+  pts.push_back({"p0", []() { return PointResult{}; }});
+  SweepOptions resume_without_path;
+  resume_without_path.resume = true;
+  EXPECT_THROW(run_sweep("s", pts, resume_without_path), InvalidArgument);
+
+  SweepOptions timeout_inline;
+  timeout_inline.isolate = false;
+  timeout_inline.timeout_seconds = 1.0;
+  EXPECT_THROW(run_sweep("s", pts, timeout_inline), InvalidArgument);
+
+  pts.push_back({"p0", []() { return PointResult{}; }});  // duplicate id
+  EXPECT_THROW(run_sweep("s", pts, SweepOptions{}), InvalidArgument);
+}
+
+TEST(SweepRunner, RetriesTransientCrashThenSucceeds) {
+  const std::string counter = TempPath("crash_counter");
+  std::remove(counter.c_str());
+  std::vector<SweepPointSpec> pts;
+  pts.push_back({"flaky", [counter]() -> PointResult {
+    AppendByte(counter);  // executions are counted on disk, across forks
+    if (FileSize(counter) < 3) std::abort();
+    PointResult r;
+    r.metrics = {{"v", 1.0}};
+    return r;
+  }});
+  SweepOptions opts;
+  opts.retry = FastRetries(3);
+  const auto sweep = run_sweep("flaky-sweep", pts, opts);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_EQ(sweep.points[0].outcome, Outcome::kOk);
+  EXPECT_EQ(sweep.points[0].attempts, 3u);
+  EXPECT_EQ(sweep.degraded, 0u);
+  EXPECT_EQ(FileSize(counter), 3u);
+  std::remove(counter.c_str());
+}
+
+TEST(SweepRunner, DeterministicFailureIsNotRetried) {
+  const std::string counter = TempPath("unstable_counter");
+  std::remove(counter.c_str());
+  std::vector<SweepPointSpec> pts;
+  pts.push_back({"unstable", [counter]() -> PointResult {
+    AppendByte(counter);
+    throw qbd::UnstableModel("rho >= 1", 1.3);
+  }});
+  pts.push_back({"fine", []() {
+    PointResult r;
+    r.metrics = {{"v", 2.0}};
+    return r;
+  }});
+  SweepOptions opts;
+  opts.retry = FastRetries(5);
+  const auto sweep = run_sweep("degraded-sweep", pts, opts);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.points[0].outcome, Outcome::kUnstableModel);
+  EXPECT_EQ(sweep.points[0].attempts, 1u);  // no retry for deterministic
+  EXPECT_EQ(FileSize(counter), 1u);
+  EXPECT_EQ(sweep.points[1].outcome, Outcome::kOk);  // sweep continued
+  EXPECT_EQ(sweep.degraded, 1u);
+  std::remove(counter.c_str());
+}
+
+TEST(SweepRunner, TimeoutRetriedWithBackoffThenDegraded) {
+  std::vector<SweepPointSpec> pts;
+  pts.push_back({"hung", []() {
+    std::this_thread::sleep_for(std::chrono::seconds(30));
+    return PointResult{};
+  }});
+  pts.push_back({"after", []() {
+    PointResult r;
+    r.metrics = {{"v", 3.0}};
+    return r;
+  }});
+  SweepOptions opts;
+  opts.timeout_seconds = 0.2;
+  opts.retry = FastRetries(2);
+  const auto sweep = run_sweep("timeout-sweep", pts, opts);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.points[0].outcome, Outcome::kTimeout);
+  EXPECT_EQ(sweep.points[0].attempts, 2u);  // retried once, then degraded
+  EXPECT_EQ(sweep.points[1].outcome, Outcome::kOk);
+  EXPECT_EQ(sweep.degraded, 1u);
+}
+
+// --- the acceptance drill: SIGKILL mid-sweep, resume bit-exactly ------
+
+// Deterministic RNG-backed point: proves resume reproduces stochastic
+// results bit-for-bit, not just analytically recomputable ones.
+PointResult DeterministicPoint(int i) {
+  sim::Rng rng(sim::derive_seed(2024, static_cast<std::uint64_t>(i)));
+  auto uniform = [&rng]() {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  };
+  PointResult out;
+  out.metrics.emplace_back("a", uniform());
+  out.metrics.emplace_back("b", uniform() * 1.0e6);
+  out.metrics.emplace_back("c", uniform() - 0.5);
+  out.rng_state = sim::save_rng_state(rng);
+  return out;
+}
+
+TEST(SweepRunner, SigkillMidSweepResumesBitExact) {
+  const std::string ck = TempPath("kill_drill.ck");
+  const std::string marker = TempPath("kill_drill.marker");
+  std::remove(ck.c_str());
+  std::remove(marker.c_str());
+
+  auto make_points = [&marker]() {
+    std::vector<SweepPointSpec> pts;
+    for (int i = 0; i < 6; ++i) {
+      pts.push_back({"p" + std::to_string(i), [i, marker]() -> PointResult {
+        if (i == 3 && !FileExists(marker)) {
+          // First execution of p3: hard-kill the supervising sweep
+          // process (our parent) exactly as a machine crash would, then
+          // die without producing a payload.
+          AppendByte(marker);
+          ::kill(::getppid(), SIGKILL);
+          std::this_thread::sleep_for(std::chrono::seconds(5));
+          std::_Exit(kExitError);
+        }
+        return DeterministicPoint(i);
+      }});
+    }
+    return pts;
+  };
+
+  // Run the sweep in a child process so the SIGKILL does not take down
+  // the test binary.
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    SweepOptions opts;
+    opts.checkpoint_path = ck;
+    (void)run_sweep("kill-drill", make_points(), opts);
+    std::_Exit(7);  // unreachable: p3 kills this process mid-sweep
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "sweep must die from the SIGKILL";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The checkpoint holds exactly the points completed before the kill.
+  const auto mid = load_checkpoint(ck);
+  ASSERT_EQ(mid.points.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(mid.points[i].id, "p" + std::to_string(i));
+    EXPECT_EQ(mid.points[i].outcome, Outcome::kOk);
+  }
+
+  // Resume: completed points come back from disk, the rest run fresh.
+  clear_interrupt();
+  SweepOptions resume_opts;
+  resume_opts.checkpoint_path = ck;
+  resume_opts.resume = true;
+  const auto resumed = run_sweep("kill-drill", make_points(), resume_opts);
+  ASSERT_EQ(resumed.points.size(), 6u);
+  EXPECT_EQ(resumed.reused, 3u);
+  EXPECT_EQ(resumed.degraded, 0u);
+  EXPECT_FALSE(resumed.interrupted);
+
+  // Reference: the same sweep, never interrupted (marker exists, so p3
+  // computes normally).
+  const auto golden = run_sweep("kill-drill-golden", make_points(),
+                                SweepOptions{});
+  ASSERT_EQ(golden.points.size(), 6u);
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE("point " + golden.points[i].id);
+    EXPECT_EQ(resumed.points[i].id, golden.points[i].id);
+    EXPECT_EQ(resumed.points[i].rng_state, golden.points[i].rng_state);
+    ASSERT_EQ(resumed.points[i].metrics.size(),
+              golden.points[i].metrics.size());
+    for (std::size_t m = 0; m < golden.points[i].metrics.size(); ++m) {
+      EXPECT_EQ(resumed.points[i].metrics[m].first,
+                golden.points[i].metrics[m].first);
+      EXPECT_TRUE(BitEqual(resumed.points[i].metrics[m].second,
+                           golden.points[i].metrics[m].second))
+          << golden.points[i].metrics[m].first;
+    }
+  }
+
+  // The golden comparator agrees at its tightest (bit-exact) setting.
+  SweepCheckpoint gold_ck;
+  gold_ck.sweep_name = "kill-drill";
+  gold_ck.points = golden.points;
+  SweepCheckpoint act_ck;
+  act_ck.sweep_name = "kill-drill";
+  act_ck.points = resumed.points;
+  GoldenTolerances exact;
+  exact.default_rel_tol = 0.0;
+  EXPECT_TRUE(compare_to_golden(gold_ck, act_ck, exact).ok());
+
+  std::remove(ck.c_str());
+  std::remove(marker.c_str());
+}
+
+// --- golden comparison ------------------------------------------------
+
+SweepCheckpoint MakeGolden() {
+  SweepCheckpoint g;
+  g.sweep_name = "g";
+  CheckpointPoint p0;
+  p0.id = "p0";
+  p0.metrics = {{"x", 1.0}, {"y", 0.0}};
+  CheckpointPoint p1;
+  p1.id = "p1";
+  p1.outcome = Outcome::kUnstableModel;  // degraded golden point
+  g.points = {p0, p1};
+  return g;
+}
+
+TEST(Golden, IdenticalSweepsAgree) {
+  const auto g = MakeGolden();
+  const auto report = compare_to_golden(g, g);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.points_compared, 2u);
+  EXPECT_EQ(report.metrics_compared, 2u);
+}
+
+TEST(Golden, FlagsValueDriftBeyondTolerance) {
+  const auto g = MakeGolden();
+  auto a = g;
+  a.points[0].metrics[0].second = 1.0 + 1e-6;
+  const auto report = compare_to_golden(g, a);
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].kind, GoldenDiff::Kind::kValue);
+  EXPECT_EQ(report.diffs[0].metric, "x");
+  EXPECT_NEAR(report.diffs[0].rel_error, 1e-6, 1e-8);
+  EXPECT_FALSE(report.to_string().empty());
+
+  // A per-metric override loosens exactly that metric.
+  GoldenTolerances tol;
+  tol.per_metric = {{"x", 1e-3}};
+  EXPECT_TRUE(compare_to_golden(g, a, tol).ok());
+}
+
+TEST(Golden, AbsFloorGuardsZeroValuedMetrics) {
+  const auto g = MakeGolden();
+  auto a = g;
+  a.points[0].metrics[1].second = 1e-15;  // golden y is exactly 0
+  EXPECT_FALSE(compare_to_golden(g, a).ok());
+  GoldenTolerances tol;
+  tol.abs_floor = 1e-12;
+  EXPECT_TRUE(compare_to_golden(g, a, tol).ok());
+}
+
+TEST(Golden, FlagsMissingPointMetricAndOutcomeChanges) {
+  const auto g = MakeGolden();
+
+  SweepCheckpoint missing_point;
+  missing_point.sweep_name = "g";
+  missing_point.points = {g.points[1]};
+  {
+    const auto r = compare_to_golden(g, missing_point);
+    ASSERT_EQ(r.diffs.size(), 1u);
+    EXPECT_EQ(r.diffs[0].kind, GoldenDiff::Kind::kMissingPoint);
+    EXPECT_EQ(r.diffs[0].point_id, "p0");
+  }
+
+  auto missing_metric = g;
+  missing_metric.points[0].metrics.pop_back();
+  {
+    const auto r = compare_to_golden(g, missing_metric);
+    ASSERT_EQ(r.diffs.size(), 1u);
+    EXPECT_EQ(r.diffs[0].kind, GoldenDiff::Kind::kMissingMetric);
+    EXPECT_EQ(r.diffs[0].metric, "y");
+  }
+
+  auto outcome_change = g;
+  outcome_change.points[1].outcome = Outcome::kOk;
+  {
+    const auto r = compare_to_golden(g, outcome_change);
+    ASSERT_EQ(r.diffs.size(), 1u);
+    EXPECT_EQ(r.diffs[0].kind, GoldenDiff::Kind::kOutcome);
+    EXPECT_EQ(r.diffs[0].point_id, "p1");
+  }
+
+  // Extra actual points are fine (supersets pass).
+  auto superset = g;
+  CheckpointPoint extra;
+  extra.id = "p2";
+  extra.metrics = {{"x", 9.0}};
+  superset.points.push_back(extra);
+  EXPECT_TRUE(compare_to_golden(g, superset).ok());
+}
+
+}  // namespace
+}  // namespace performa::runner

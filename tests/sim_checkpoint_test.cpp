@@ -1,0 +1,243 @@
+// RNG-stream serialization and mid-run pause/resume of the simulators.
+//
+// The contract under test is bit-exactness: a run paused at an arbitrary
+// event boundary and resumed from its snapshot must replay the identical
+// trajectory -- same statistics to the last bit, same final RNG-stream
+// position -- as a run that was never interrupted. This is what makes
+// sweep checkpoints trustworthy.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/cluster_model.h"
+#include "linalg/errors.h"
+#include "sim/cluster_sim.h"
+#include "sim/fault_injection.h"
+#include "sim/mmpp_queue_sim.h"
+#include "sim/random.h"
+
+namespace performa::sim {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// --- RNG-stream serialization ----------------------------------------
+
+TEST(RngState, SaveRestoreRoundTripsStream) {
+  Rng rng(12345);
+  for (int i = 0; i < 1000; ++i) rng();  // advance mid-stream
+  const std::string state = save_rng_state(rng);
+  Rng restored = restore_rng_state(state);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(rng(), restored()) << "draw " << i;
+  }
+}
+
+TEST(RngState, SaveIsStableAcrossRoundTrips) {
+  Rng rng(7);
+  for (int i = 0; i < 17; ++i) rng();
+  const std::string once = save_rng_state(rng);
+  EXPECT_EQ(save_rng_state(restore_rng_state(once)), once);
+}
+
+TEST(RngState, RestoreRejectsGarbage) {
+  EXPECT_THROW(restore_rng_state(""), InvalidArgument);
+  EXPECT_THROW(restore_rng_state("not an engine state"), InvalidArgument);
+  Rng rng(3);
+  EXPECT_THROW(restore_rng_state(save_rng_state(rng) + " trailing junk"),
+               InvalidArgument);
+}
+
+// --- cluster simulator pause/resume ----------------------------------
+
+ClusterSimConfig SmallCluster() {
+  ClusterSimConfig cfg;
+  cfg.n_servers = 2;
+  cfg.lambda = 1.2;
+  cfg.up = exponential_sampler_mean(90.0);
+  cfg.down = exponential_sampler_mean(10.0);
+  cfg.cycles = 300;
+  cfg.warmup_cycles = 30;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void ExpectClusterResultsBitIdentical(const ClusterSimResult& a,
+                                      const ClusterSimResult& b) {
+  EXPECT_TRUE(BitEqual(a.mean_queue_length, b.mean_queue_length));
+  EXPECT_TRUE(BitEqual(a.probability_empty, b.probability_empty));
+  EXPECT_TRUE(BitEqual(a.sim_time, b.sim_time));
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.discarded, b.discarded);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.injected_crashes, b.injected_crashes);
+  EXPECT_EQ(a.injected_arrivals, b.injected_arrivals);
+  EXPECT_EQ(a.repair_preemptions, b.repair_preemptions);
+  EXPECT_EQ(a.system_time.count(), b.system_time.count());
+  if (a.system_time.count() > 0) {
+    EXPECT_TRUE(BitEqual(a.system_time.mean(), b.system_time.mean()));
+  }
+  EXPECT_EQ(a.final_rng_state, b.final_rng_state);
+}
+
+// Pause at `pause_events`, resume, and check against the uninterrupted
+// reference run of the same config.
+void CheckClusterPauseResume(const ClusterSimConfig& cfg,
+                             std::size_t pause_events,
+                             const ClusterSimResult& reference) {
+  ClusterSimConfig paused_cfg = cfg;
+  paused_cfg.pause_after_events = pause_events;
+  const auto paused = simulate_cluster(paused_cfg);
+  ASSERT_TRUE(paused.paused);
+  ASSERT_NE(paused.state, nullptr);
+  EXPECT_EQ(paused.final_rng_state, paused.state->rng_state);
+
+  ClusterSimConfig resume_cfg = cfg;
+  resume_cfg.pause_after_events = 0;
+  resume_cfg.resume_from = paused.state;
+  const auto resumed = simulate_cluster(resume_cfg);
+  ASSERT_FALSE(resumed.paused);
+  ExpectClusterResultsBitIdentical(resumed, reference);
+}
+
+TEST(ClusterSimCheckpoint, PauseResumeIsBitIdentical) {
+  const auto cfg = SmallCluster();
+  const auto reference = simulate_cluster(cfg);
+  ASSERT_FALSE(reference.paused);
+  ASSERT_GT(reference.events, 100u);
+
+  // During warm-up, around the middle, and near the end of the run.
+  CheckClusterPauseResume(cfg, 50, reference);
+  CheckClusterPauseResume(cfg, reference.events / 2, reference);
+  CheckClusterPauseResume(cfg, (reference.events * 9) / 10, reference);
+}
+
+TEST(ClusterSimCheckpoint, ChainedPausesStayBitIdentical) {
+  const auto cfg = SmallCluster();
+  const auto reference = simulate_cluster(cfg);
+
+  // Pause twice along the way: snapshot -> snapshot -> completion.
+  ClusterSimConfig first = cfg;
+  first.pause_after_events = reference.events / 4;
+  const auto leg1 = simulate_cluster(first);
+  ASSERT_TRUE(leg1.paused);
+
+  ClusterSimConfig second = cfg;
+  second.pause_after_events = reference.events / 2;
+  second.resume_from = leg1.state;
+  const auto leg2 = simulate_cluster(second);
+  ASSERT_TRUE(leg2.paused);
+
+  ClusterSimConfig last = cfg;
+  last.pause_after_events = 0;
+  last.resume_from = leg2.state;
+  const auto finished = simulate_cluster(last);
+  ASSERT_FALSE(finished.paused);
+  ExpectClusterResultsBitIdentical(finished, reference);
+}
+
+TEST(ClusterSimCheckpoint, PauseResumeUnderFaultInjection) {
+  ClusterSimConfig cfg = SmallCluster();
+  cfg.faults = parse_scenario("common-mode-2@50+burst-20@120+refail-0.3");
+  const auto reference = simulate_cluster(cfg);
+  ASSERT_FALSE(reference.paused);
+  EXPECT_GT(reference.injected_crashes, 0u);
+  EXPECT_GT(reference.injected_arrivals, 0u);
+
+  CheckClusterPauseResume(cfg, reference.events / 3, reference);
+  CheckClusterPauseResume(cfg, (reference.events * 3) / 4, reference);
+}
+
+TEST(ClusterSimCheckpoint, PauseResumeWithCrashStrategy) {
+  // delta = 0 turns DOWN periods into crashes, exercising the failure
+  // strategy and in-service task snapshot fields.
+  ClusterSimConfig cfg = SmallCluster();
+  cfg.delta = 0.0;
+  cfg.strategy = FailureStrategy::kRestartBack;
+  const auto reference = simulate_cluster(cfg);
+  CheckClusterPauseResume(cfg, reference.events / 2, reference);
+
+  cfg.strategy = FailureStrategy::kResumeFront;
+  const auto reference2 = simulate_cluster(cfg);
+  CheckClusterPauseResume(cfg, reference2.events / 2, reference2);
+}
+
+TEST(ClusterSimCheckpoint, ResumeValidatesTopology) {
+  ClusterSimConfig cfg = SmallCluster();
+  cfg.pause_after_events = 100;
+  const auto paused = simulate_cluster(cfg);
+  ASSERT_TRUE(paused.paused);
+
+  ClusterSimConfig wrong = SmallCluster();
+  wrong.n_servers = 3;  // snapshot was taken with 2 servers
+  wrong.resume_from = paused.state;
+  EXPECT_THROW(simulate_cluster(wrong), InvalidArgument);
+}
+
+// --- M/MMPP/1 simulator pause/resume ---------------------------------
+
+TEST(MmppQueueSimCheckpoint, PauseResumeIsBitIdentical) {
+  const core::ClusterModel model{core::ClusterParams{}};
+  const auto mmpp = model.aggregate().mmpp();
+
+  MmppQueueSimConfig cfg;
+  cfg.lambda = model.lambda_for_rho(0.7);
+  cfg.horizon = 2e4;
+  cfg.warmup = 2e3;
+  cfg.seed = 11;
+  const auto reference = simulate_mmpp_queue(mmpp, cfg);
+  ASSERT_FALSE(reference.paused);
+  ASSERT_GT(reference.events, 1000u);
+
+  // Pause during warm-up and well into measurement.
+  for (std::size_t pause : {static_cast<std::size_t>(100),
+                            reference.events / 2}) {
+    MmppQueueSimConfig paused_cfg = cfg;
+    paused_cfg.pause_after_events = pause;
+    const auto paused = simulate_mmpp_queue(mmpp, paused_cfg);
+    ASSERT_TRUE(paused.paused);
+    ASSERT_NE(paused.state, nullptr);
+
+    MmppQueueSimConfig resume_cfg = cfg;
+    resume_cfg.resume_from = paused.state;
+    const auto resumed = simulate_mmpp_queue(mmpp, resume_cfg);
+    ASSERT_FALSE(resumed.paused);
+    EXPECT_TRUE(
+        BitEqual(resumed.mean_queue_length, reference.mean_queue_length));
+    EXPECT_TRUE(
+        BitEqual(resumed.probability_empty, reference.probability_empty));
+    EXPECT_EQ(resumed.arrivals, reference.arrivals);
+    EXPECT_EQ(resumed.services, reference.services);
+    EXPECT_EQ(resumed.events, reference.events);
+    EXPECT_EQ(resumed.final_rng_state, reference.final_rng_state);
+  }
+}
+
+TEST(MmppQueueSimCheckpoint, ResumeValidatesPhase) {
+  const core::ClusterModel model{core::ClusterParams{}};
+  const auto mmpp = model.aggregate().mmpp();
+
+  MmppQueueSimConfig cfg;
+  cfg.lambda = model.lambda_for_rho(0.5);
+  cfg.horizon = 5e3;
+  cfg.warmup = 5e2;
+  cfg.pause_after_events = 200;
+  const auto paused = simulate_mmpp_queue(mmpp, cfg);
+  ASSERT_TRUE(paused.paused);
+
+  auto corrupt = std::make_shared<MmppQueueSimState>(*paused.state);
+  corrupt->phase = 10'000;  // out of range for the service process
+  MmppQueueSimConfig resume_cfg = cfg;
+  resume_cfg.pause_after_events = 0;
+  resume_cfg.resume_from = corrupt;
+  EXPECT_THROW(simulate_mmpp_queue(mmpp, resume_cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace performa::sim
