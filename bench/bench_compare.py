@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs and gate on regressions.
+
+Subcommands:
+  merge OUT IN...        merge the `benchmarks` arrays of several
+                         --benchmark_format=json files into OUT (the first
+                         input's `context` is kept, annotated per-benchmark
+                         with its source file).
+  compare BASELINE NEW   compare NEW against BASELINE; exit 1 when any
+                         benchmark slowed down by more than --threshold
+                         (relative, default 0.25) beyond --abs-floor-ns.
+  selftest BASELINE      prove the gate works: synthesize a run 2x the
+                         threshold slower than BASELINE and require compare
+                         to fail it, then a within-tolerance run and require
+                         compare to pass it. Exits non-zero if either leg
+                         misbehaves.
+
+Only stdlib; aggregate rows (mean/median/stddev) are ignored so repeated
+runs do not double-count. Benchmarks present on one side only are reported
+but never fail the gate (new benchmarks must be able to land, and pruned
+ones to leave, without editing the baseline in the same commit).
+"""
+import argparse
+import copy
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregate rows; keep one entry per benchmark name.
+        if row.get("run_type") == "aggregate":
+            continue
+        rows[row["name"]] = row
+    return doc, rows
+
+
+def cmd_merge(args):
+    merged = None
+    for path in args.inputs:
+        doc, _ = load_benchmarks(path)
+        for row in doc.get("benchmarks", []):
+            row.setdefault("source_file", path)
+        if merged is None:
+            merged = doc
+        else:
+            merged["benchmarks"].extend(doc.get("benchmarks", []))
+    if merged is None:
+        print("bench_compare: merge needs at least one input", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as fh:
+        json.dump(merged, fh, indent=1)
+        fh.write("\n")
+    print(f"merged {len(args.inputs)} file(s), "
+          f"{len(merged['benchmarks'])} benchmark rows -> {args.out}")
+    return 0
+
+
+def compare_rows(base_rows, new_rows, threshold, abs_floor_ns, metric):
+    """Return (regressions, improvements, missing, added) lists."""
+    regressions, improvements, missing, added = [], [], [], []
+    for name, base in base_rows.items():
+        if name not in new_rows:
+            missing.append(name)
+            continue
+        old = float(base[metric])
+        new = float(new_rows[name][metric])
+        if old <= 0:
+            continue
+        # Below the absolute noise floor, timer jitter dwarfs any signal.
+        if old < abs_floor_ns and new < abs_floor_ns:
+            continue
+        rel = (new - old) / old
+        if rel > threshold:
+            regressions.append((name, old, new, rel))
+        elif rel < -threshold:
+            improvements.append((name, old, new, rel))
+    for name in new_rows:
+        if name not in base_rows:
+            added.append(name)
+    return regressions, improvements, missing, added
+
+
+def cmd_compare(args):
+    _, base_rows = load_benchmarks(args.baseline)
+    _, new_rows = load_benchmarks(args.new)
+    regressions, improvements, missing, added = compare_rows(
+        base_rows, new_rows, args.threshold, args.abs_floor_ns, args.metric)
+
+    def fmt(rows, label, sign):
+        for name, old, new, rel in rows:
+            print(f"  {label} {name}: {old:.0f} ns -> {new:.0f} ns "
+                  f"({sign}{abs(rel) * 100:.1f}%)")
+
+    print(f"compared {len(base_rows)} baseline benchmark(s) "
+          f"against {len(new_rows)} (threshold {args.threshold * 100:.0f}%, "
+          f"noise floor {args.abs_floor_ns:.0f} ns, metric {args.metric})")
+    if improvements:
+        print(f"{len(improvements)} improvement(s) beyond threshold:")
+        fmt(improvements, "FASTER", "-")
+    if missing:
+        print(f"{len(missing)} baseline benchmark(s) not in this run "
+              f"(not failing the gate): {', '.join(sorted(missing))}")
+    if added:
+        print(f"{len(added)} new benchmark(s) without a baseline "
+              f"(not failing the gate): {', '.join(sorted(added))}")
+    if regressions:
+        print(f"{len(regressions)} REGRESSION(S):")
+        fmt(regressions, "SLOWER", "+")
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+def cmd_selftest(args):
+    _, base_rows = load_benchmarks(args.baseline)
+    if not base_rows:
+        print("selftest: baseline holds no benchmarks", file=sys.stderr)
+        return 2
+
+    def synthesize(factor):
+        rows = copy.deepcopy(base_rows)
+        for row in rows.values():
+            row[args.metric] = float(row[args.metric]) * factor
+        return rows
+
+    # A slowdown at 2x the threshold must trip the gate...
+    slow = synthesize(1.0 + 2.0 * args.threshold)
+    r, _, _, _ = compare_rows(base_rows, slow, args.threshold,
+                              args.abs_floor_ns, args.metric)
+    if not r:
+        print("selftest FAILED: synthetic slowdown was not detected",
+              file=sys.stderr)
+        return 1
+    # ... and a slowdown at half the threshold must pass.
+    ok = synthesize(1.0 + 0.5 * args.threshold)
+    r, _, _, _ = compare_rows(base_rows, ok, args.threshold,
+                              args.abs_floor_ns, args.metric)
+    if r:
+        print("selftest FAILED: within-tolerance run was flagged",
+              file=sys.stderr)
+        return 1
+    print(f"selftest ok: +{2 * args.threshold * 100:.0f}% fails the gate, "
+          f"+{0.5 * args.threshold * 100:.0f}% passes it")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_merge = sub.add_parser("merge")
+    p_merge.add_argument("out")
+    p_merge.add_argument("inputs", nargs="+")
+
+    def tolerance_args(p):
+        p.add_argument("--threshold", type=float, default=0.25,
+                       help="relative slowdown that fails the gate")
+        p.add_argument("--abs-floor-ns", type=float, default=100.0,
+                       help="ignore benchmarks faster than this on both "
+                            "sides (timer noise)")
+        p.add_argument("--metric", default="cpu_time",
+                       choices=["cpu_time", "real_time"])
+
+    p_compare = sub.add_parser("compare")
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("new")
+    tolerance_args(p_compare)
+
+    p_selftest = sub.add_parser("selftest")
+    p_selftest.add_argument("baseline")
+    tolerance_args(p_selftest)
+
+    args = parser.parse_args()
+    if args.cmd == "merge":
+        return cmd_merge(args)
+    if args.cmd == "compare":
+        return cmd_compare(args)
+    return cmd_selftest(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

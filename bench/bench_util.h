@@ -15,6 +15,9 @@
 //   PERFORMA_POINT_TIMEOUT  per-point wall-clock budget in seconds
 //   PERFORMA_RUNNER_ISOLATE=0  run points in-process (no fork/timeout)
 //   PERFORMA_GOLDEN         golden checkpoint to regression-compare against
+//   PERFORMA_JOBS           points in flight at once (default: one per
+//                           hardware thread; the CSV is identical either way)
+//   PERFORMA_PROGRESS=1     stderr line per completed point
 #pragma once
 
 #include <cstdio>
@@ -41,6 +44,7 @@ inline std::size_t scaled(std::size_t base) {
 /// Sweep-runner options from the PERFORMA_* environment (see file header).
 inline runner::SweepOptions sweep_options_from_env() {
   runner::SweepOptions opts;
+  opts.jobs = 0;  // one worker per hardware thread unless overridden
   if (const char* v = std::getenv("PERFORMA_CHECKPOINT")) {
     opts.checkpoint_path = v;
   }
@@ -53,6 +57,14 @@ inline runner::SweepOptions sweep_options_from_env() {
   if (const char* v = std::getenv("PERFORMA_RUNNER_ISOLATE")) {
     opts.isolate = std::atoi(v) != 0;
   }
+  if (const char* v = std::getenv("PERFORMA_JOBS")) {
+    const int jobs = std::atoi(v);
+    if (jobs > 0) opts.jobs = static_cast<unsigned>(jobs);
+  }
+  if (const char* v = std::getenv("PERFORMA_PROGRESS")) {
+    opts.progress = std::atoi(v) != 0;
+  }
+  if (!opts.isolate) opts.jobs = 1;  // inline mode is sequential
   return opts;
 }
 

@@ -16,13 +16,17 @@
 //   --retries <n>        sweep: attempts per point for transient failures
 //   --sim-cycles <n>     sweep: also simulate each point (n UP/DOWN cycles)
 //   --no-isolate         sweep: run points in-process (no fork, no timeout)
+//   -j/--jobs <n>        sweep: points in flight at once (default: nproc)
+//   --progress           sweep: one stderr line per completed point
 //
-// The sweep runs each point in a supervised worker subprocess: hung
-// points are SIGKILLed at the timeout and retried with backoff, solver
-// failures become degraded placeholder rows instead of aborting, and
-// SIGINT/SIGTERM stop the sweep at the next point boundary with the
-// checkpoint flushed -- `--resume` then picks up where it stopped,
-// reproducing completed points bit-exactly.
+// The sweep runs up to --jobs points at once, each in a supervised
+// worker subprocess: hung points are SIGKILLed at the timeout and
+// retried with backoff, solver failures become degraded placeholder
+// rows instead of aborting, and SIGINT/SIGTERM wind the sweep down
+// (in-flight workers drain, nothing new starts) with the checkpoint
+// flushed -- `--resume` then picks up where it stopped, reproducing
+// completed points bit-exactly. The CSV on stdout is byte-identical for
+// every --jobs value.
 //
 // Arguments are positional with defaults matching the paper's running
 // example; `perfctl <cmd>` with no arguments reproduces paper numbers.
@@ -53,8 +57,10 @@ struct Flags {
   std::string golden;      // golden-result file to compare against
   bool resume = false;
   bool isolate = true;
+  bool progress = false;
   double timeout_seconds = 0.0;
   unsigned retries = 3;
+  unsigned jobs = 0;  // points in flight; 0 = one per hardware thread
   std::size_t sim_cycles = 0;  // per-point simulation effort (0 = analytic only)
 };
 
@@ -171,7 +177,9 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
   opts.timeout_seconds = flags.timeout_seconds;
   opts.retry.max_attempts = flags.retries;
   opts.isolate = flags.isolate;
+  opts.jobs = flags.isolate ? flags.jobs : 1;  // inline mode is sequential
   opts.verbose = flags.report;
+  opts.progress = flags.progress;
   runner::install_signal_handlers();
   const auto sweep = runner::run_sweep("perfctl-sweep", points, opts);
 
@@ -277,6 +285,9 @@ void Usage() {
       "  --retries <n>        sweep: attempts per point on transient failure\n"
       "  --sim-cycles <n>     sweep: also simulate each point (n cycles)\n"
       "  --no-isolate         sweep: run points in-process (no fork/timeout)\n"
+      "  -j, --jobs <n>       sweep: points in flight at once (default nproc;\n"
+      "                       CSV output is identical for every value)\n"
+      "  --progress           sweep: stderr line per completed point\n"
       "%s",
       sim::scenario_grammar().c_str());
 }
@@ -312,6 +323,21 @@ Flags StripFlags(int& argc, char** argv) {
       flags.resume = true;
     } else if (std::strcmp(argv[i], "--no-isolate") == 0) {
       flags.isolate = false;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      flags.progress = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 ||
+               std::strcmp(argv[i], "-j") == 0) {
+      flags.jobs = static_cast<unsigned>(std::atoi(value(i, "--jobs")));
+      if (flags.jobs == 0) {
+        std::fprintf(stderr, "perfctl: --jobs needs a positive count\n");
+        std::exit(1);
+      }
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      flags.jobs = static_cast<unsigned>(std::atoi(argv[i] + 2));
+      if (flags.jobs == 0) {
+        std::fprintf(stderr, "perfctl: -jN needs a positive count\n");
+        std::exit(1);
+      }
     } else if (std::strcmp(argv[i], "--timeout") == 0) {
       flags.timeout_seconds = std::atof(value(i, "--timeout"));
     } else if (std::strcmp(argv[i], "--retries") == 0) {

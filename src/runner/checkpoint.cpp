@@ -63,9 +63,24 @@ std::vector<std::string> split(const std::string& text, char sep) {
   }
 }
 
-std::string header_line(const std::string& sweep_name) {
-  return std::string(kHeaderPrefix) + std::to_string(kCheckpointVersion) +
-         " " + sanitize(sweep_name, "|");
+std::string header_line(int version, const std::string& sweep_name) {
+  return std::string(kHeaderPrefix) + std::to_string(version) + " " +
+         sanitize(sweep_name, "|");
+}
+
+// "performa-checkpoint v<digits> <name>" -> (version, name).
+bool parse_header(const std::string& line, int& version, std::string& name) {
+  const std::size_t prefix = sizeof kHeaderPrefix - 1;
+  if (line.compare(0, prefix, kHeaderPrefix) != 0) return false;
+  const std::size_t sp = line.find(' ', prefix);
+  if (sp == std::string::npos || sp == prefix) return false;
+  const std::string digits = line.substr(prefix, sp - prefix);
+  char* end = nullptr;
+  const long v = std::strtol(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size()) return false;
+  version = static_cast<int>(v);
+  name = line.substr(sp + 1);
+  return true;
 }
 
 }  // namespace
@@ -178,18 +193,25 @@ void open_checkpoint(const std::string& path, const std::string& sweep_name) {
     while (!have.empty() && (have.back() == '\n' || have.back() == '\r')) {
       have.pop_back();
     }
+    int version = 0;
+    std::string name;
+    const bool parsed = parse_header(have, version, name);
     PERFORMA_EXPECTS(
-        have == header_line(sweep_name),
+        parsed && version >= kMinCheckpointVersion &&
+            version <= kCheckpointVersion &&
+            name == sanitize(sweep_name, "|"),
         "open_checkpoint: '" + path + "' exists but its header does not "
         "match this sweep/version (have '" + have + "', want '" +
-        header_line(sweep_name) + "')");
+        header_line(kCheckpointVersion, sweep_name) + "' or a v" +
+        std::to_string(kMinCheckpointVersion) + " equivalent)");
     return;
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     throw NumericalError("open_checkpoint: cannot create '" + path + "'");
   }
-  std::fprintf(f, "%s\n", header_line(sweep_name).c_str());
+  std::fprintf(f, "%s\n",
+               header_line(kCheckpointVersion, sweep_name).c_str());
   std::fflush(f);
   std::fclose(f);
 }
@@ -214,6 +236,8 @@ SweepCheckpoint load_checkpoint(const std::string& path) {
   char buf[4096];
   bool saw_header = false;
   bool line_done;
+  // id -> outcome of the latest record seen, for v2 duplicate rejection.
+  std::vector<std::pair<std::string, Outcome>> latest;
   while (std::fgets(buf, sizeof buf, f) != nullptr) {
     line += buf;
     line_done = !line.empty() && line.back() == '\n';
@@ -222,20 +246,42 @@ SweepCheckpoint load_checkpoint(const std::string& path) {
       line.pop_back();
     }
     if (!saw_header) {
-      const std::string want =
-          std::string(kHeaderPrefix) + std::to_string(kCheckpointVersion) + " ";
-      if (line.compare(0, want.size(), want) != 0) {
+      int version = 0;
+      std::string name;
+      if (!parse_header(line, version, name) ||
+          version < kMinCheckpointVersion || version > kCheckpointVersion) {
         std::fclose(f);
         throw InvalidArgument(
             "load_checkpoint: '" + path + "' is not a v" +
+            std::to_string(kMinCheckpointVersion) + "..v" +
             std::to_string(kCheckpointVersion) + " checkpoint (header '" +
             line + "')");
       }
-      ck.sweep_name = line.substr(want.size());
+      ck.version = version;
+      ck.sweep_name = name;
       saw_header = true;
     } else if (!line.empty()) {
       CheckpointPoint p;
       if (decode_point(line, p)) {
+        if (ck.version >= 2) {
+          bool duplicate_ok = false;
+          bool seen = false;
+          for (auto& [id, outcome] : latest) {
+            if (id != p.id) continue;
+            seen = true;
+            duplicate_ok = outcome == Outcome::kOk;
+            outcome = p.outcome;  // degraded records may be superseded
+            break;
+          }
+          if (duplicate_ok) {
+            std::fclose(f);
+            throw InvalidArgument(
+                "load_checkpoint: '" + path + "' holds a second record for "
+                "point '" + p.id + "', which already has an ok record -- "
+                "two sweeps appear to have shared this checkpoint");
+          }
+          if (!seen) latest.emplace_back(p.id, p.outcome);
+        }
         ck.points.push_back(std::move(p));
       } else {
         ++ck.dropped_records;  // torn append (SIGKILL mid-write) or damage

@@ -9,12 +9,26 @@
 // stored as C99 hex-floats, so a resumed sweep reproduces prior numbers
 // bit-exactly.
 //
-//   performa-checkpoint v1 <sweep-name>
+//   performa-checkpoint v2 <sweep-name>
 //   P <crc32-hex> <index>|<id>|<outcome>|<attempts>|<message>|<rng>|<metrics>
 //
 // <metrics> is `name=hexfloat` pairs joined with ','. The CRC covers
 // everything after the "P <crc32-hex> " prefix. Golden-result files use
 // the same format: a verified checkpoint *is* a golden file.
+//
+// Version history (record format is identical in both):
+//   v1  written by the sequential runner: records land in request
+//       order, and later records for the same id silently supersede
+//       earlier ones.
+//   v2  written by the parallel scheduler: records may land in any
+//       order (completion order under -j N), so resume is keyed purely
+//       by point id. A record may supersede an earlier *degraded*
+//       record for the same id (that is how resumed retries are
+//       persisted), but a second record for an id that already has an
+//       ok record is rejected at load time -- two ok records for one
+//       point means two writers shared the file, and trusting either
+//       silently would be a correctness bug.
+// The loader reads both versions; new checkpoints are created as v2.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +41,8 @@
 
 namespace performa::runner {
 
-inline constexpr int kCheckpointVersion = 1;
+inline constexpr int kCheckpointVersion = 2;
+inline constexpr int kMinCheckpointVersion = 1;
 
 /// One completed (or degraded) experiment point.
 struct CheckpointPoint {
@@ -46,6 +61,7 @@ struct CheckpointPoint {
 
 /// A loaded checkpoint file.
 struct SweepCheckpoint {
+  int version = kCheckpointVersion;
   std::string sweep_name;
   std::vector<CheckpointPoint> points;   ///< in file order, duplicates kept
   std::size_t dropped_records = 0;       ///< corrupt/truncated lines skipped
@@ -57,18 +73,21 @@ struct SweepCheckpoint {
 /// CRC-32 (IEEE 802.3, reflected) of `data`.
 std::uint32_t crc32(std::string_view data);
 
-/// Create `path` with a fresh v1 header when it does not exist; when it
-/// does, validate that the header matches this version and sweep name
-/// (resuming a different sweep into the file is almost certainly a
-/// mistake). Throws InvalidArgument on mismatch, NumericalError on I/O
-/// failure.
+/// Create `path` with a fresh v2 header when it does not exist; when it
+/// does, validate that the header carries a supported version and this
+/// sweep name (resuming a different sweep into the file is almost
+/// certainly a mistake). Throws InvalidArgument on mismatch,
+/// NumericalError on I/O failure.
 void open_checkpoint(const std::string& path, const std::string& sweep_name);
 
 /// Append one point record and flush it to disk.
 void append_point(const std::string& path, const CheckpointPoint& point);
 
-/// Load a checkpoint. Corrupt or truncated records are counted in
-/// dropped_records and skipped; a bad header throws InvalidArgument.
+/// Load a v1 or v2 checkpoint. Corrupt or truncated records are counted
+/// in dropped_records and skipped; a bad header throws InvalidArgument.
+/// In a v2 file a record for an id that already has an ok record throws
+/// InvalidArgument (duplicate writer); v1 keeps its legacy appends-win
+/// semantics.
 SweepCheckpoint load_checkpoint(const std::string& path);
 
 // Record codec, exposed for tests.

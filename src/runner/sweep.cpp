@@ -1,10 +1,16 @@
 #include "runner/sweep.h"
 
+#include <poll.h>
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "linalg/errors.h"
 #include "sim/random.h"
@@ -12,6 +18,8 @@
 namespace performa::runner {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::atomic<bool> g_interrupted{false};
 
@@ -22,7 +30,33 @@ void on_signal(int signo) {
   ::signal(signo, SIG_DFL);
 }
 
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One scheduler slot: owns at most one in-flight point and walks it
+// through running -> backing-off -> running ... until the point is done
+// (delivered ok or recorded degraded), then frees itself for the next
+// point in request order.
+struct Slot {
+  enum class State { kIdle, kRunning, kBackoff };
+  State state = State::kIdle;
+  std::size_t index = 0;           ///< request index of the owned point
+  unsigned attempt = 0;            ///< attempts consumed (1-based)
+  WorkerHandle worker;             ///< live worker when kRunning
+  bool timed_out = false;          ///< this attempt was SIGKILLed at deadline
+  bool has_deadline = false;       ///< kRunning: timeout armed
+  Clock::time_point deadline{};    ///< kRunning: timeout; kBackoff: retry at
+  Clock::time_point first_dispatch{};
+};
+
 }  // namespace
+
+unsigned resolve_jobs(unsigned jobs) noexcept {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 void install_signal_handlers() {
   struct sigaction sa;
@@ -53,6 +87,10 @@ SweepResult run_sweep(const std::string& name,
                    "run_sweep: timeout must be >= 0");
   PERFORMA_EXPECTS(options.isolate || options.timeout_seconds == 0.0,
                    "run_sweep: timeouts require subprocess isolation");
+  PERFORMA_EXPECTS(options.isolate || options.jobs == 1,
+                   "run_sweep: parallel jobs require subprocess isolation");
+  PERFORMA_EXPECTS(options.drain_grace_seconds >= 0.0,
+                   "run_sweep: drain grace must be >= 0");
   PERFORMA_EXPECTS(!options.resume || !options.checkpoint_path.empty(),
                    "run_sweep: resume needs a checkpoint path");
   {
@@ -80,73 +118,285 @@ SweepResult run_sweep(const std::string& name,
   }
 
   SweepResult sweep;
-  sweep.points.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (sweep_interrupted()) {
-      sweep.interrupted = true;
-      break;
-    }
-    const SweepPointSpec& spec = specs[i];
 
-    // Resume: trust completed points, give degraded ones a fresh chance.
-    if (options.resume) {
-      if (const CheckpointPoint* done = prior.find(spec.id);
-          done != nullptr && done->outcome == Outcome::kOk) {
-        sweep.points.push_back(*done);
+  // Request-order delivery: every finished point parks here under its
+  // request index, whatever order the workers completed in.
+  std::vector<std::optional<CheckpointPoint>> done(specs.size());
+
+  // Resume: trust completed points, give degraded ones a fresh chance.
+  if (options.resume) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (const CheckpointPoint* old = prior.find(specs[i].id);
+          old != nullptr && old->outcome == Outcome::kOk) {
+        done[i] = *old;
+        done[i]->index = i;
         ++sweep.reused;
         if (options.verbose) {
           std::fprintf(stderr, "[sweep %s] %s: reused from checkpoint\n",
-                       name.c_str(), spec.id.c_str());
+                       name.c_str(), specs[i].id.c_str());
         }
-        continue;
       }
     }
+  }
 
-    CheckpointPoint record;
-    record.index = i;
-    record.id = spec.id;
-    for (unsigned attempt = 1;; ++attempt) {
-      const WorkerReport report =
-          options.isolate
-              ? run_point_isolated(spec.fn, options.timeout_seconds)
-              : run_point_inline(spec.fn);
-      if (sweep_interrupted()) {
-        // The worker likely died from the same signal (same process
-        // group); do not record a bogus crash for it.
-        sweep.interrupted = true;
-        break;
-      }
-      record.outcome = report.outcome;
-      record.attempts = attempt;
-      record.message = report.message;
-      if (report.outcome == Outcome::kOk) {
-        record.metrics = report.result.metrics;
-        record.rng_state = report.result.rng_state;
-        break;
-      }
-      if (options.verbose) {
-        std::fprintf(stderr, "[sweep %s] %s: attempt %u -> %s (%s)\n",
-                     name.c_str(), spec.id.c_str(), attempt,
-                     to_string(report.outcome), report.message.c_str());
-      }
-      if (!is_transient(report.outcome) ||
-          attempt >= options.retry.max_attempts) {
-        break;  // record the degraded placeholder and move on
-      }
-      const double backoff = options.retry.backoff_seconds(
-          attempt, sim::derive_seed(options.backoff_seed, i));
-      sleep_seconds(backoff);
-    }
-    if (sweep.interrupted) break;
-
+  // Record a finished point: checkpoint, observability, delivery.
+  const auto finalize = [&](CheckpointPoint&& record, double elapsed) {
     if (record.outcome != Outcome::kOk) ++sweep.degraded;
     if (checkpointing) append_point(options.checkpoint_path, record);
     if (options.verbose) {
       std::fprintf(stderr, "[sweep %s] %s: %s after %u attempt(s)\n",
-                   name.c_str(), spec.id.c_str(), to_string(record.outcome),
-                   record.attempts);
+                   name.c_str(), record.id.c_str(),
+                   to_string(record.outcome), record.attempts);
     }
-    sweep.points.push_back(std::move(record));
+    if (options.progress) {
+      std::fprintf(stderr, "[sweep %s] done %s: %s attempts=%u %.2fs\n",
+                   name.c_str(), record.id.c_str(),
+                   to_string(record.outcome), record.attempts, elapsed);
+    }
+    const std::size_t index = record.index;
+    done[index] = std::move(record);
+  };
+
+  const auto attempt_note = [&](const SweepPointSpec& spec, unsigned attempt,
+                                const WorkerReport& report) {
+    if (options.verbose) {
+      std::fprintf(stderr, "[sweep %s] %s: attempt %u -> %s (%s)\n",
+                   name.c_str(), spec.id.c_str(), attempt,
+                   to_string(report.outcome), report.message.c_str());
+    }
+  };
+
+  if (!options.isolate) {
+    // In-process fallback: sequential by construction (a single address
+    // space cannot run points concurrently *and* contain their crashes).
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (sweep_interrupted()) {
+        sweep.interrupted = true;
+        break;
+      }
+      if (done[i].has_value()) continue;  // reused from the checkpoint
+      const SweepPointSpec& spec = specs[i];
+      const Clock::time_point started = Clock::now();
+      CheckpointPoint record;
+      record.index = i;
+      record.id = spec.id;
+      for (unsigned attempt = 1;; ++attempt) {
+        const WorkerReport report = run_point_inline(spec.fn);
+        if (sweep_interrupted()) {
+          sweep.interrupted = true;
+          break;
+        }
+        record.outcome = report.outcome;
+        record.attempts = attempt;
+        record.message = report.message;
+        if (report.outcome == Outcome::kOk) {
+          record.metrics = report.result.metrics;
+          record.rng_state = report.result.rng_state;
+          break;
+        }
+        attempt_note(spec, attempt, report);
+        if (!is_transient(report.outcome) ||
+            attempt >= options.retry.max_attempts) {
+          break;  // record the degraded placeholder and move on
+        }
+        const double backoff = options.retry.backoff_seconds(
+            attempt, sim::derive_seed(options.backoff_seed, i));
+        sleep_seconds(backoff);
+      }
+      if (sweep.interrupted) break;
+      finalize(std::move(record), seconds_since(started));
+    }
+  } else {
+    // Worker-pool scheduler: up to `jobs` slots, each owning one point
+    // at a time through its retry state machine. One poll(2) multiplexes
+    // every live worker plus the earliest timeout/backoff/drain deadline.
+    const unsigned jobs = resolve_jobs(options.jobs);
+    std::vector<Slot> slots(
+        std::max<std::size_t>(1, std::min<std::size_t>(jobs, specs.size())));
+    std::size_t next = 0;         // next request index to consider
+    std::size_t outstanding = 0;  // points currently owned by a slot
+    bool draining = false;
+    Clock::time_point drain_deadline{};
+
+    const auto start_attempt = [&](Slot& slot, std::size_t index,
+                                   unsigned attempt) {
+      slot.state = Slot::State::kRunning;
+      slot.index = index;
+      slot.attempt = attempt;
+      slot.timed_out = false;
+      slot.worker = spawn_worker(specs[index].fn);
+      if (attempt == 1) slot.first_dispatch = slot.worker.started;
+      slot.has_deadline = options.timeout_seconds > 0.0;
+      if (slot.has_deadline) {
+        slot.deadline =
+            slot.worker.started +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(options.timeout_seconds));
+      }
+    };
+
+    // A worker reached EOF: reap, classify, advance the slot's state
+    // machine (deliver, back off for a retry, or abandon under drain).
+    const auto settle = [&](Slot& slot) {
+      const WorkerReport report =
+          reap_worker(slot.worker, slot.timed_out, options.timeout_seconds);
+      slot.worker = WorkerHandle{};
+      const SweepPointSpec& spec = specs[slot.index];
+
+      if (report.outcome != Outcome::kOk && draining) {
+        // The worker most likely died from the shared signal or the
+        // drain SIGKILL; recording a bogus crash would poison resume.
+        slot.state = Slot::State::kIdle;
+        --outstanding;
+        return;
+      }
+      if (report.outcome != Outcome::kOk) {
+        attempt_note(spec, slot.attempt, report);
+        if (is_transient(report.outcome) &&
+            slot.attempt < options.retry.max_attempts) {
+          const double backoff = options.retry.backoff_seconds(
+              slot.attempt,
+              sim::derive_seed(options.backoff_seed, slot.index));
+          slot.state = Slot::State::kBackoff;
+          slot.deadline =
+              Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(backoff));
+          return;
+        }
+      }
+      CheckpointPoint record;
+      record.index = slot.index;
+      record.id = spec.id;
+      record.outcome = report.outcome;
+      record.attempts = slot.attempt;
+      record.message = report.message;
+      if (report.outcome == Outcome::kOk) {
+        record.metrics = report.result.metrics;
+        record.rng_state = report.result.rng_state;
+      }
+      finalize(std::move(record), seconds_since(slot.first_dispatch));
+      slot.state = Slot::State::kIdle;
+      --outstanding;
+    };
+
+    while (true) {
+      if (!draining && sweep_interrupted()) {
+        draining = true;
+        sweep.interrupted = true;
+        drain_deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(options.drain_grace_seconds));
+        for (Slot& slot : slots) {
+          // A point waiting out a backoff has no work in flight worth
+          // draining: abandon it, resume will re-run it.
+          if (slot.state == Slot::State::kBackoff) {
+            slot.state = Slot::State::kIdle;
+            --outstanding;
+          }
+        }
+      }
+
+      if (!draining) {
+        for (Slot& slot : slots) {
+          if (slot.state != Slot::State::kIdle) continue;
+          while (next < specs.size() && done[next].has_value()) ++next;
+          if (next >= specs.size()) break;
+          start_attempt(slot, next++, 1);
+          ++outstanding;
+        }
+      }
+      if (outstanding == 0) break;
+
+      // One poll covers every live worker and the earliest deadline
+      // (per-slot timeout, per-slot backoff expiry, drain cutoff).
+      std::vector<struct pollfd> pfds;
+      std::vector<Slot*> pfd_slots;
+      bool have_deadline = draining;
+      Clock::time_point earliest = drain_deadline;
+      for (Slot& slot : slots) {
+        if (slot.state == Slot::State::kRunning) {
+          if (!slot.worker.eof) {
+            pfds.push_back({slot.worker.fd, POLLIN, 0});
+            pfd_slots.push_back(&slot);
+          }
+          if (slot.has_deadline && !slot.timed_out &&
+              (!have_deadline || slot.deadline < earliest)) {
+            earliest = slot.deadline;
+            have_deadline = true;
+          }
+        } else if (slot.state == Slot::State::kBackoff) {
+          if (!have_deadline || slot.deadline < earliest) {
+            earliest = slot.deadline;
+            have_deadline = true;
+          }
+        }
+      }
+      int timeout_ms = -1;
+      if (have_deadline) {
+        const double remaining =
+            std::chrono::duration<double>(earliest - Clock::now()).count();
+        timeout_ms =
+            remaining <= 0.0 ? 0 : static_cast<int>(remaining * 1e3) + 1;
+      }
+      const int ready = ::poll(pfds.empty() ? nullptr : pfds.data(),
+                               static_cast<nfds_t>(pfds.size()), timeout_ms);
+      if (ready < 0 && errno != EINTR) {
+        // poll() itself failed (fd exhaustion?): nothing sane to wait
+        // on. Kill what is in flight and stop; the checkpoint holds
+        // every completed point.
+        for (Slot& slot : slots) {
+          if (slot.state == Slot::State::kRunning) {
+            kill_worker(slot.worker);
+            settle(slot);
+          }
+        }
+        sweep.interrupted = true;
+        break;
+      }
+      if (ready > 0) {
+        for (std::size_t p = 0; p < pfds.size(); ++p) {
+          if (pfds[p].revents == 0) continue;
+          Slot& slot = *pfd_slots[p];
+          drain_worker(slot.worker);
+          if (slot.worker.eof) settle(slot);
+        }
+      }
+
+      const Clock::time_point now = Clock::now();
+      for (Slot& slot : slots) {
+        if (slot.state == Slot::State::kRunning && slot.has_deadline &&
+            !slot.timed_out && now >= slot.deadline) {
+          kill_worker(slot.worker);  // EOF arrives promptly; settled above
+          slot.timed_out = true;
+        } else if (slot.state == Slot::State::kBackoff &&
+                   now >= slot.deadline) {
+          start_attempt(slot, slot.index, slot.attempt + 1);
+        }
+      }
+      if (draining && now >= drain_deadline) {
+        for (Slot& slot : slots) {
+          if (slot.state == Slot::State::kRunning) {
+            kill_worker(slot.worker);
+            settle(slot);
+          }
+        }
+      }
+    }
+  }
+
+  // Deliver in request order. An interrupted sweep returns the longest
+  // completed prefix -- out-of-order completions past the first gap are
+  // already safe in the checkpoint and come back on resume.
+  for (auto& record : done) {
+    if (!record.has_value()) {
+      if (!sweep.interrupted) {
+        // Cannot happen: every non-interrupted point was finalized.
+        throw NumericalError("run_sweep: point list has an internal gap");
+      }
+      break;
+    }
+    sweep.points.push_back(std::move(*record));
   }
   return sweep;
 }

@@ -1,17 +1,27 @@
 // Supervised sweep execution: the resilience layer between "a list of
 // experiment points" and "a list of results".
 //
-// Each point runs in an isolated worker (see worker.h) under a
-// wall-clock timeout; transient failures (timeout, crash) are retried
-// with capped, jittered exponential backoff; deterministic failures
-// (solver failure, unstable model) are recorded once as degraded
-// placeholder points and the sweep *continues*. Completed points are
-// appended to a checksummed checkpoint file as they finish, so a killed
-// sweep restarted with resume=true re-reads the checkpoint, reuses every
-// completed point bit-exactly (metrics are persisted as hex-floats) and
-// only re-executes what is missing. SIGINT/SIGTERM raise a flag that
-// winds the sweep down at the next point boundary -- the checkpoint is
-// already flushed point-by-point, so the final state is always on disk.
+// Points run in isolated forked workers (see worker.h) under a
+// wall-clock timeout, up to `jobs` of them in flight at once. Each live
+// point is owned by a scheduler *slot* that walks a small state machine
+// (running -> backing-off -> running ... -> done): transient failures
+// (timeout, crash) are retried with capped, jittered exponential
+// backoff; deterministic failures (solver failure, unstable model) are
+// recorded once as degraded placeholder points and the sweep
+// *continues*. Results are delivered in request order regardless of
+// completion order -- a `-j 8` sweep produces the same point list,
+// bit-exactly, as a `-j 1` sweep of the same specs.
+//
+// Completed points are appended to a checksummed checkpoint file as
+// they finish (completion order; the v2 checkpoint format is keyed by
+// point id, so resume is order-independent). A killed sweep restarted
+// with resume=true re-reads the checkpoint, reuses every completed
+// point bit-exactly (metrics are persisted as hex-floats) and only
+// re-executes what is missing. SIGINT/SIGTERM wind the sweep down:
+// nothing new is dispatched, in-flight workers get a bounded grace
+// period to finish (and are recorded if they do), then are SIGKILLed --
+// the checkpoint is already flushed point-by-point, so the final state
+// is always on disk.
 #pragma once
 
 #include <cstdint>
@@ -43,17 +53,30 @@ struct SweepOptions {
   RetryPolicy retry;
   /// Run points in forked worker subprocesses (the default). Disable
   /// only where fork is unavailable; inline points lose timeout
-  /// enforcement and crash containment.
+  /// enforcement, crash containment, and parallelism.
   bool isolate = true;
+  /// Maximum points in flight at once. 1 = sequential (the scheduling
+  /// and output of the pre-parallel runner, byte for byte); 0 = one per
+  /// hardware thread. Values > 1 require isolate.
+  unsigned jobs = 1;
+  /// Wind-down grace period: after SIGINT/SIGTERM, in-flight workers
+  /// may run this many more seconds (their results are still recorded)
+  /// before being SIGKILLed.
+  double drain_grace_seconds = 5.0;
   /// Seed for the deterministic retry-backoff jitter.
   std::uint64_t backoff_seed = 0x9e3779b9ULL;
   /// Progress notes on stderr (one line per point).
   bool verbose = false;
+  /// One compact stderr line per *completed* point (id, outcome,
+  /// attempts, seconds), in completion order: long parallel sweeps stay
+  /// observable without tailing the checkpoint.
+  bool progress = false;
 };
 
 /// What a sweep produced: one record per requested point, in request
-/// order -- unless the sweep was interrupted, in which case the tail of
-/// the point list is absent.
+/// order -- unless the sweep was interrupted, in which case the points
+/// list holds the longest completed prefix (later points that finished
+/// out of order are still in the checkpoint for resume).
 struct SweepResult {
   std::vector<CheckpointPoint> points;
   std::size_t reused = 0;      ///< points restored from the checkpoint
@@ -61,10 +84,15 @@ struct SweepResult {
   bool interrupted = false;    ///< SIGINT/SIGTERM stopped the sweep early
 };
 
+/// Resolve a jobs request: 0 maps to the hardware thread count (at
+/// least 1), anything else passes through.
+unsigned resolve_jobs(unsigned jobs) noexcept;
+
 /// Install SIGINT/SIGTERM handlers that raise the sweep interrupt flag
-/// (idempotent). The sweep then stops at the next point boundary with
-/// the checkpoint fully flushed; a second signal falls back to the
-/// default disposition, so a stuck sweep can still be killed hard.
+/// (idempotent). The sweep then winds down (no new dispatches, bounded
+/// drain) with the checkpoint fully flushed; a second signal falls back
+/// to the default disposition, so a stuck sweep can still be killed
+/// hard.
 void install_signal_handlers();
 
 /// True once SIGINT/SIGTERM was received (or raise_interrupt was called).

@@ -1,5 +1,6 @@
 #include "runner/worker.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -43,6 +44,49 @@ int wait_for(pid_t pid) {
   while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
   }
   return status;
+}
+
+// Classify a reaped worker from its wait status and drained payload.
+WorkerReport classify_worker(const std::string& payload, int status,
+                             bool timed_out, double timeout_seconds) {
+  WorkerReport report;
+  if (payload.rfind("error ", 0) == 0) {
+    const std::size_t nl = payload.find('\n');
+    report.message = payload.substr(6, nl == std::string::npos
+                                           ? std::string::npos
+                                           : nl - 6);
+  }
+  if (timed_out) {
+    report.outcome = Outcome::kTimeout;
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "worker exceeded %.3gs wall-clock budget (SIGKILL)",
+                  timeout_seconds);
+    report.message = msg;
+  } else if (WIFSIGNALED(status)) {
+    report.outcome = Outcome::kCrash;
+    report.message =
+        std::string("worker killed by signal ") +
+        std::to_string(WTERMSIG(status)) + " (" +
+        ::strsignal(WTERMSIG(status)) + ")";
+  } else if (WIFEXITED(status) && WEXITSTATUS(status) == kExitOk) {
+    if (decode_result(payload, report.result)) {
+      report.outcome = Outcome::kOk;
+    } else {
+      report.outcome = Outcome::kCrash;
+      report.message = "worker exited 0 but its result payload is torn";
+    }
+  } else if (WIFEXITED(status)) {
+    report.outcome = outcome_from_exit_code(WEXITSTATUS(status));
+    if (report.message.empty()) {
+      report.message =
+          "worker exited with code " + std::to_string(WEXITSTATUS(status));
+    }
+  } else {
+    report.outcome = Outcome::kCrash;
+    report.message = "worker ended in an unexpected wait status";
+  }
+  return report;
 }
 
 }  // namespace
@@ -114,24 +158,26 @@ WorkerReport run_point_inline(const PointFn& fn) {
   return report;
 }
 
-WorkerReport run_point_isolated(const PointFn& fn, double timeout_seconds) {
-  PERFORMA_EXPECTS(timeout_seconds >= 0.0,
-                   "run_point_isolated: timeout must be >= 0");
+WorkerHandle spawn_worker(const PointFn& fn) {
   int fds[2];
   if (::pipe(fds) != 0) {
-    throw NumericalError("run_point_isolated: pipe() failed");
+    throw NumericalError("spawn_worker: pipe() failed");
   }
-  const auto start = std::chrono::steady_clock::now();
+  WorkerHandle handle;
+  handle.started = std::chrono::steady_clock::now();
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(fds[0]);
     ::close(fds[1]);
-    throw NumericalError("run_point_isolated: fork() failed");
+    throw NumericalError("spawn_worker: fork() failed");
   }
 
   if (pid == 0) {
     // Worker child: compute, ship the payload, and _exit without running
     // parent-owned atexit handlers or flushing parent stdio twice.
+    // (Read ends of sibling workers' pipes may be inherited here; that
+    // is harmless -- EOF is governed by write ends, and the parent
+    // closes its copy of every write end right after forking.)
     ::close(fds[0]);
     int code = kExitError;
     try {
@@ -147,91 +193,94 @@ WorkerReport run_point_isolated(const PointFn& fn, double timeout_seconds) {
     ::_exit(code);
   }
 
-  // Supervisor: drain the pipe under the wall-clock deadline.
   ::close(fds[1]);
-  std::string payload;
-  bool timed_out = false;
-  bool interrupted = false;
+  ::fcntl(fds[0], F_SETFL, ::fcntl(fds[0], F_GETFL) | O_NONBLOCK);
+  handle.pid = pid;
+  handle.fd = fds[0];
+  return handle;
+}
+
+void drain_worker(WorkerHandle& worker) {
+  if (worker.fd < 0 || worker.eof) return;
   char buf[4096];
   while (true) {
+    const ssize_t n = ::read(worker.fd, buf, sizeof buf);
+    if (n > 0) {
+      worker.payload.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      worker.eof = true;  // worker closed its end (exit or kill)
+      return;
+    }
+    if (errno == EINTR) continue;
+    return;  // EAGAIN: drained everything currently buffered
+  }
+}
+
+void kill_worker(const WorkerHandle& worker) noexcept {
+  if (worker.running()) ::kill(worker.pid, SIGKILL);
+}
+
+WorkerReport reap_worker(WorkerHandle& worker, bool timed_out,
+                         double timeout_seconds) {
+  PERFORMA_EXPECTS(worker.running(), "reap_worker: no live worker");
+  // Pick up any bytes that raced the final poll, then release the pipe.
+  drain_worker(worker);
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  const int status = wait_for(worker.pid);
+  worker.pid = -1;
+
+  WorkerReport report =
+      classify_worker(worker.payload, status, timed_out, timeout_seconds);
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    worker.started)
+          .count();
+  return report;
+}
+
+WorkerReport run_point_isolated(const PointFn& fn, double timeout_seconds) {
+  PERFORMA_EXPECTS(timeout_seconds >= 0.0,
+                   "run_point_isolated: timeout must be >= 0");
+  WorkerHandle worker = spawn_worker(fn);
+  bool timed_out = false;
+  bool interrupted = false;
+  while (!worker.eof) {
     int wait_ms = -1;
     if (timeout_seconds > 0.0 && !timed_out) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
+                                        worker.started)
               .count();
       const double remaining = timeout_seconds - elapsed;
       if (remaining <= 0.0) {
-        ::kill(pid, SIGKILL);
+        kill_worker(worker);
         timed_out = true;
         continue;  // drain until EOF so the child can be reaped cleanly
       }
       wait_ms = static_cast<int>(remaining * 1e3) + 1;
     }
-    struct pollfd pfd = {fds[0], POLLIN, 0};
+    struct pollfd pfd = {worker.fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
       if (errno != EINTR) break;
       if (sweep_interrupted()) {
-        ::kill(pid, SIGKILL);
+        kill_worker(worker);
         interrupted = true;
       }
       continue;
     }
     if (ready == 0) continue;  // deadline re-checked at the loop head
-    const ssize_t n = ::read(fds[0], buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // EOF: worker closed its end (exit or kill)
-    payload.append(buf, static_cast<std::size_t>(n));
+    drain_worker(worker);
   }
-  ::close(fds[0]);
-  const int status = wait_for(pid);
-
-  WorkerReport report;
-  report.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  if (payload.rfind("error ", 0) == 0) {
-    const std::size_t nl = payload.find('\n');
-    report.message = payload.substr(6, nl == std::string::npos
-                                           ? std::string::npos
-                                           : nl - 6);
-  }
+  WorkerReport report = reap_worker(worker, timed_out, timeout_seconds);
   if (interrupted) {
     report.outcome = Outcome::kCrash;
     report.message = "worker killed: sweep interrupted";
-  } else if (timed_out) {
-    report.outcome = Outcome::kTimeout;
-    char msg[96];
-    std::snprintf(msg, sizeof msg,
-                  "worker exceeded %.3gs wall-clock budget (SIGKILL)",
-                  timeout_seconds);
-    report.message = msg;
-  } else if (WIFSIGNALED(status)) {
-    report.outcome = Outcome::kCrash;
-    report.message =
-        std::string("worker killed by signal ") +
-        std::to_string(WTERMSIG(status)) + " (" +
-        ::strsignal(WTERMSIG(status)) + ")";
-  } else if (WIFEXITED(status) && WEXITSTATUS(status) == kExitOk) {
-    if (decode_result(payload, report.result)) {
-      report.outcome = Outcome::kOk;
-    } else {
-      report.outcome = Outcome::kCrash;
-      report.message = "worker exited 0 but its result payload is torn";
-    }
-  } else if (WIFEXITED(status)) {
-    report.outcome = outcome_from_exit_code(WEXITSTATUS(status));
-    if (report.message.empty()) {
-      report.message =
-          "worker exited with code " + std::to_string(WEXITSTATUS(status));
-    }
-  } else {
-    report.outcome = Outcome::kCrash;
-    report.message = "worker ended in an unexpected wait status";
   }
   return report;
 }

@@ -43,6 +43,14 @@ bool FileExists(const std::string& path) {
   return ::access(path.c_str(), F_OK) == 0;
 }
 
+// PointId(i) spelled without operator+(const char*, string&&),
+// which trips GCC 12's -Wrestrict false positive under -O2 -Werror.
+std::string PointId(int i) {
+  std::string id = "p";
+  id += std::to_string(i);
+  return id;
+}
+
 std::size_t FileSize(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   return in ? static_cast<std::size_t>(in.tellg()) : 0;
@@ -468,7 +476,7 @@ TEST(SweepRunner, SigkillMidSweepResumesBitExact) {
   auto make_points = [&marker]() {
     std::vector<SweepPointSpec> pts;
     for (int i = 0; i < 6; ++i) {
-      pts.push_back({"p" + std::to_string(i), [i, marker]() -> PointResult {
+      pts.push_back({PointId(i), [i, marker]() -> PointResult {
         if (i == 3 && !FileExists(marker)) {
           // First execution of p3: hard-kill the supervising sweep
           // process (our parent) exactly as a machine crash would, then
@@ -503,7 +511,7 @@ TEST(SweepRunner, SigkillMidSweepResumesBitExact) {
   const auto mid = load_checkpoint(ck);
   ASSERT_EQ(mid.points.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(mid.points[i].id, "p" + std::to_string(i));
+    EXPECT_EQ(mid.points[i].id, PointId(i));
     EXPECT_EQ(mid.points[i].outcome, Outcome::kOk);
   }
 
