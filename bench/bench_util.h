@@ -18,12 +18,17 @@
 //   PERFORMA_JOBS           points in flight at once (default: one per
 //                           hardware thread; the CSV is identical either way)
 //   PERFORMA_PROGRESS=1     stderr line per completed point
+//   PERFORMA_TRACE          trace_event JSONL trace of the run (Perfetto)
+//   PERFORMA_METRICS        metrics-registry JSON snapshot written at the
+//                           end of the sweep
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/golden.h"
 #include "runner/sweep.h"
 
@@ -42,7 +47,11 @@ inline std::size_t scaled(std::size_t base) {
 }
 
 /// Sweep-runner options from the PERFORMA_* environment (see file header).
+/// Also arms tracing/metrics output from $PERFORMA_TRACE/$PERFORMA_METRICS
+/// so every runner-backed figure harness is traceable without code changes.
 inline runner::SweepOptions sweep_options_from_env() {
+  obs::init_trace_from_env();
+  obs::init_metrics_from_env();
   runner::SweepOptions opts;
   opts.jobs = 0;  // one worker per hardware thread unless overridden
   if (const char* v = std::getenv("PERFORMA_CHECKPOINT")) {
@@ -72,6 +81,8 @@ inline runner::SweepOptions sweep_options_from_env() {
 /// and map interruption to the conventional exit code. Returns the
 /// process exit status (0 ok, 3 golden mismatch, 130 interrupted).
 inline int finish_sweep(const char* name, const runner::SweepResult& sweep) {
+  obs::flush_trace();
+  obs::write_metrics_if_configured();
   for (const auto& pt : sweep.points) {
     if (pt.outcome != runner::Outcome::kOk) {
       std::printf("# degraded %s: %s after %u attempt(s): %s\n",

@@ -1,0 +1,119 @@
+// Observability overhead benchmarks: the no-op guarantee, measured.
+//
+// The obs layer claims that with tracing disabled a PERFORMA_SPAN costs
+// one relaxed atomic load and a counter add is one relaxed fetch_add --
+// i.e. instrumented hot paths (rsolver tiers, the cluster-simulator
+// cycle loop) run at the same speed as before instrumentation. The
+// BM_RSolver*/BM_ClusterSim* cases here exercise the real instrumented
+// code with tracing off; bench_compare.py holds them (and the
+// pre-existing solver/sim benchmarks, which now also run instrumented
+// code) to the CI regression threshold. The micro cases bound the
+// per-operation costs themselves.
+#include <benchmark/benchmark.h>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qbd/solution.h"
+#include "sim/cluster_sim.h"
+
+using namespace performa;
+
+namespace {
+
+map::Mmpp ClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(medist::exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+// --- micro: per-operation costs ---------------------------------------
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::disable_trace();
+  for (auto _ : state) {
+    PERFORMA_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_SpanEnabledMemory(benchmark::State& state) {
+  obs::enable_trace_memory();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    PERFORMA_SPAN("bench.enabled");
+    // Drain periodically (outside the timed region) so the in-memory
+    // sink does not grow with the iteration count.
+    if (++n == 8192) {
+      n = 0;
+      state.PauseTiming();
+      (void)obs::drain_memory_trace();
+      state.ResumeTiming();
+    }
+  }
+  obs::disable_trace();
+  (void)obs::drain_memory_trace();
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& h = obs::histogram("bench.histogram");
+  double v = 1e-3;
+  for (auto _ : state) {
+    h.record(v);
+    v += 1e-6;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+
+// --- macro: instrumented hot loops with tracing off -------------------
+
+void BM_RSolverTracingOff(benchmark::State& state) {
+  obs::disable_trace();
+  const auto mmpp = ClusterMmpp(static_cast<unsigned>(state.range(0)));
+  const auto blocks = qbd::m_mmpp_1(mmpp, 0.7 * mmpp.mean_rate());
+  for (auto _ : state) {
+    auto result = qbd::solve_r(blocks);
+    benchmark::DoNotOptimize(result.r);
+  }
+}
+
+void BM_ClusterSimTracingOff(benchmark::State& state) {
+  obs::disable_trace();
+  sim::ClusterSimConfig cfg;
+  cfg.n_servers = 2;
+  cfg.nu_p = 2.0;
+  cfg.delta = 0.2;
+  cfg.lambda = 2.0;
+  cfg.up = sim::me_sampler(medist::exponential_from_mean(90.0));
+  cfg.down = sim::me_sampler(medist::exponential_from_mean(10.0));
+  cfg.cycles = static_cast<std::size_t>(state.range(0));
+  cfg.warmup_cycles = cfg.cycles / 10;
+  cfg.seed = 1234;
+  for (auto _ : state) {
+    auto result = sim::simulate_cluster(cfg);
+    benchmark::DoNotOptimize(result.mean_queue_length);
+  }
+  state.SetLabel("cycles=" + std::to_string(cfg.cycles));
+}
+
+BENCHMARK(BM_SpanDisabled);
+BENCHMARK(BM_SpanEnabledMemory);
+BENCHMARK(BM_CounterAdd);
+BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_RSolverTracingOff)->Arg(5)->Arg(10);
+BENCHMARK(BM_ClusterSimTracingOff)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -17,7 +17,12 @@
 //   --sim-cycles <n>     sweep: also simulate each point (n UP/DOWN cycles)
 //   --no-isolate         sweep: run points in-process (no fork, no timeout)
 //   -j/--jobs <n>        sweep: points in flight at once (default: nproc)
-//   --progress           sweep: one stderr line per completed point
+//   --progress           sweep: live pool status on stderr (plain lines
+//                        when stderr is not a tty)
+//   --trace <path>       write a Chrome trace_event JSONL trace (loads in
+//                        Perfetto / about://tracing); $PERFORMA_TRACE too
+//   --metrics <path>     dump the metrics registry as JSON at exit;
+//                        $PERFORMA_METRICS too
 //
 // The sweep runs up to --jobs points at once, each in a supervised
 // worker subprocess: hung points are SIGKILLed at the timeout and
@@ -40,6 +45,8 @@
 #include "core/cluster_model.h"
 #include "core/mm1.h"
 #include "core/qos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qbd/solve_report.h"
 #include "runner/golden.h"
 #include "runner/sweep.h"
@@ -55,6 +62,8 @@ struct Flags {
   std::string inject;      // fault-injection scenario spec (empty = none)
   std::string checkpoint;  // sweep checkpoint path (empty = off)
   std::string golden;      // golden-result file to compare against
+  std::string trace;       // trace_event JSONL output path (empty = off)
+  std::string metrics;     // metrics JSON output path (empty = off)
   bool resume = false;
   bool isolate = true;
   bool progress = false;
@@ -287,7 +296,12 @@ void Usage() {
       "  --no-isolate         sweep: run points in-process (no fork/timeout)\n"
       "  -j, --jobs <n>       sweep: points in flight at once (default nproc;\n"
       "                       CSV output is identical for every value)\n"
-      "  --progress           sweep: stderr line per completed point\n"
+      "  --progress           sweep: live pool status on stderr (plain\n"
+      "                       lines when stderr is not a tty)\n"
+      "  --trace <path>       write a Perfetto-loadable trace_event JSONL\n"
+      "                       trace ($PERFORMA_TRACE works too)\n"
+      "  --metrics <path>     dump the metrics registry as JSON at exit\n"
+      "                       ($PERFORMA_METRICS works too)\n"
       "%s",
       sim::scenario_grammar().c_str());
 }
@@ -319,6 +333,10 @@ Flags StripFlags(int& argc, char** argv) {
       flags.checkpoint = value(i, "--checkpoint");
     } else if (std::strcmp(argv[i], "--golden") == 0) {
       flags.golden = value(i, "--golden");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      flags.trace = value(i, "--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      flags.metrics = value(i, "--metrics");
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       flags.resume = true;
     } else if (std::strcmp(argv[i], "--no-isolate") == 0) {
@@ -355,6 +373,21 @@ Flags StripFlags(int& argc, char** argv) {
 
 }  // namespace
 
+// Flush observability outputs on every exit path: the trace sink closes
+// cleanly and the metrics snapshot lands where --metrics pointed.
+int FinishObservability(int code) {
+  try {
+    obs::flush_trace();
+    obs::disable_trace();
+    obs::write_metrics_if_configured();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfctl: observability flush failed: %s\n",
+                 e.what());
+    if (code == 0) code = 2;
+  }
+  return code;
+}
+
 int main(int argc, char** argv) {
   const Flags flags = StripFlags(argc, argv);
   if (argc < 2) {
@@ -362,21 +395,37 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
-    if (std::strcmp(argv[1], "blowup") == 0) return CmdBlowup(argc, argv);
-    if (std::strcmp(argv[1], "solve") == 0) return CmdSolve(argc, argv, flags);
-    if (std::strcmp(argv[1], "sweep") == 0) return CmdSweep(argc, argv, flags);
-    if (std::strcmp(argv[1], "simulate") == 0)
-      return CmdSimulate(argc, argv, flags);
+    if (!flags.trace.empty()) {
+      obs::enable_trace_file(flags.trace);
+    } else {
+      obs::init_trace_from_env();
+    }
+    if (!flags.metrics.empty()) {
+      obs::set_metrics_path(flags.metrics);
+    } else {
+      obs::init_metrics_from_env();
+    }
+    int code = 1;
+    if (std::strcmp(argv[1], "blowup") == 0) {
+      code = CmdBlowup(argc, argv);
+    } else if (std::strcmp(argv[1], "solve") == 0) {
+      code = CmdSolve(argc, argv, flags);
+    } else if (std::strcmp(argv[1], "sweep") == 0) {
+      code = CmdSweep(argc, argv, flags);
+    } else if (std::strcmp(argv[1], "simulate") == 0) {
+      code = CmdSimulate(argc, argv, flags);
+    } else {
+      Usage();
+    }
+    return FinishObservability(code);
   } catch (const qbd::SolverFailure& e) {
     std::fprintf(stderr, "perfctl: solver failed\n%s\n", e.what());
-    return 2;
+    return FinishObservability(2);
   } catch (const qbd::UnstableModel& e) {
     std::fprintf(stderr, "perfctl: %s\n", e.what());
-    return 2;
+    return FinishObservability(2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perfctl: %s\n", e.what());
-    return 2;
+    return FinishObservability(2);
   }
-  Usage();
-  return 1;
 }

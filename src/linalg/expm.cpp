@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "linalg/lu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace performa::linalg {
 
@@ -51,6 +53,10 @@ Matrix expm_pade13(const Matrix& a, int squarings) {
 }  // namespace
 
 Matrix expm(const Matrix& a) {
+  PERFORMA_SPAN("linalg.expm");
+  static obs::Counter& calls = obs::counter("linalg.expm.calls");
+  static obs::Counter& retries = obs::counter("linalg.expm.retries");
+  calls.add();
   PERFORMA_EXPECTS(a.is_square() && !a.empty(), "expm: matrix must be square");
   check_finite(a, "expm");
 
@@ -66,6 +72,7 @@ Matrix expm(const Matrix& a) {
   // value. Retry under tightened scaling -- more squarings shrink the
   // argument the rational approximant actually sees -- before giving up.
   for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) retries.add();
     const Matrix result = expm_pade13(a, squarings + 4 * attempt);
     if (is_finite(result) &&
         std::log(std::max(norm_1(result), 1e-300)) <= nrm + 10.0) {

@@ -3,9 +3,16 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace performa::linalg {
 
 Lu::Lu(const Matrix& a) : lu_(a) {
+  // Counter only, no span: factorizations run inside the R-solver inner
+  // loops (thousands per solve), where a span each would swamp the
+  // trace. The batch-add keeps the cost to one relaxed atomic add.
+  static obs::Counter& factorizations = obs::counter("linalg.lu.factorizations");
+  factorizations.add();
   PERFORMA_EXPECTS(a.is_square() && !a.empty(), "Lu: matrix must be square");
   check_finite(a, "Lu");
   norm1_ = norm_1(a);

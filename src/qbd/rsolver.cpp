@@ -1,11 +1,14 @@
 #include "qbd/rsolver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 
 #include "linalg/lu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace performa::qbd {
 
@@ -253,21 +256,49 @@ SolveAlgorithm tier_of(RAlgorithm a) noexcept {
   return SolveAlgorithm::kLogarithmicReduction;
 }
 
+const char* span_name_of(SolveAlgorithm tier) noexcept {
+  switch (tier) {
+    case SolveAlgorithm::kSuccessiveSubstitution:
+      return "qbd.rsolver.ss";
+    case SolveAlgorithm::kLogarithmicReduction:
+      return "qbd.rsolver.logred";
+    case SolveAlgorithm::kNewtonShifted:
+      return "qbd.rsolver.newton";
+  }
+  return "qbd.rsolver.?";
+}
+
 Candidate run_tier(SolveAlgorithm tier, const QbdBlocks& b,
                    const SolverOptions& opts, bool is_fallback) {
+  obs::Span span(span_name_of(tier));
+  // The attempt duration is measured here (not derived from the span)
+  // so SolveReport::summary() carries wall times even when tracing is
+  // off; the span mirrors the same interval into the trace.
+  const auto started = std::chrono::steady_clock::now();
+  const auto stamp = [&](Candidate c) {
+    c.attempt.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    static obs::Counter& iterations = obs::counter("qbd.rsolver.iterations");
+    iterations.add(c.attempt.iterations);
+    span.annotate("iterations",
+                  static_cast<std::uint64_t>(c.attempt.iterations));
+    span.annotate("converged", c.attempt.converged ? 1.0 : 0.0);
+    return c;
+  };
   // Fallback attempts run on a bounded budget: they exist to rescue a
   // stalled primary, not to burn the full cap a second time.
   const unsigned max_it = opts.max_iterations;
   switch (tier) {
     case SolveAlgorithm::kSuccessiveSubstitution:
-      return attempt_successive(b, opts.tolerance,
-                                is_fallback ? std::min(max_it, 5000u)
-                                            : max_it);
+      return stamp(attempt_successive(
+          b, opts.tolerance, is_fallback ? std::min(max_it, 5000u) : max_it));
     case SolveAlgorithm::kLogarithmicReduction:
-      return attempt_logred(b, opts.tolerance, max_it);
+      return stamp(attempt_logred(b, opts.tolerance, max_it));
     case SolveAlgorithm::kNewtonShifted:
-      return attempt_newton_shifted(
-          b, opts.tolerance, is_fallback ? std::min(max_it, 10000u) : max_it);
+      return stamp(attempt_newton_shifted(
+          b, opts.tolerance, is_fallback ? std::min(max_it, 10000u) : max_it));
   }
   throw NumericalError("solve_r: unknown algorithm tier");
 }
@@ -289,6 +320,11 @@ GSolveResult solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
 }
 
 RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
+  obs::Span span("qbd.rsolver.solve");
+  static obs::Counter& solves = obs::counter("qbd.rsolver.solves");
+  static obs::Counter& fallbacks = obs::counter("qbd.rsolver.fallbacks");
+  static obs::Counter& failures = obs::counter("qbd.rsolver.failures");
+  solves.add();
   blocks.validate();
 
   SolveReport report;
@@ -319,6 +355,7 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
   }
 
   for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) fallbacks.add();
     Candidate c;
     try {
       c = run_tier(chain[i], blocks, opts, /*is_fallback=*/i > 0);
@@ -336,6 +373,8 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
     report.condition = c.condition;
     report.spectral_radius = spectral_radius(c.r, 1e-10, 5000);
 
+    span.annotate("winner", qbd::to_string(report.winner));
+    span.annotate("iterations", static_cast<std::uint64_t>(report.iterations));
     RSolveResult out;
     out.r = std::move(c.r);
     out.iterations = report.iterations;
@@ -344,6 +383,7 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
     return out;
   }
 
+  failures.add();
   throw SolverFailure(
       opts.enable_fallbacks
           ? "solve_r: every algorithm in the fallback chain failed"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/lu.h"
+#include "obs/trace.h"
 
 namespace performa::qbd {
 
@@ -61,6 +62,7 @@ QbdSolution::QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts) {
   r_residual_ = rs.residual;
   report_ = std::move(rs.report);
 
+  PERFORMA_SPAN("qbd.solution.assemble");
   const std::size_t m = blocks.phase_dim();
   i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
   solve_boundary(blocks, r_, i_minus_r_inv_, pi0_, pi1_);

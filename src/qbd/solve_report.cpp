@@ -29,9 +29,11 @@ std::string SolveReport::to_string() const {
                 final_defect, spectral_radius, condition, utilization);
   out += line;
   for (const SolveAttempt& a : attempts) {
-    std::snprintf(line, sizeof line, "  attempt %-24s it=%-6u defect=%.3e %s%s",
+    std::snprintf(line, sizeof line,
+                  "  attempt %-24s it=%-6u defect=%.3e t=%.3fs %s%s",
                   qbd::to_string(a.algorithm), a.iterations, a.defect,
-                  a.converged ? "ok" : "failed", a.note.empty() ? "" : ": ");
+                  a.seconds, a.converged ? "ok" : "failed",
+                  a.note.empty() ? "" : ": ");
     out += line;
     out += a.note;
     out += '\n';
@@ -40,14 +42,29 @@ std::string SolveReport::to_string() const {
 }
 
 std::string SolveReport::summary() const {
-  char line[192];
+  // One line carrying the full per-attempt trail: each attempt renders
+  // as algorithm:iterations/wall-time, with the winning tier marked by
+  // '*' so its iteration count and cost are identifiable without the
+  // multi-line report.
+  char line[224];
   std::snprintf(line, sizeof line,
                 "%s: %s after %u its over %zu attempt(s), defect=%.3e, "
                 "sp(R)=%.4f, rho=%.4f",
                 converged ? "converged" : "solver failed",
                 qbd::to_string(winner), iterations, attempts.size(),
                 final_defect, spectral_radius, utilization);
-  return line;
+  std::string out = line;
+  out += " [";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const SolveAttempt& a = attempts[i];
+    const bool won = a.converged && a.algorithm == winner;
+    std::snprintf(line, sizeof line, "%s%s%s:%uit/%.3fs", i > 0 ? " " : "",
+                  won ? "*" : "", qbd::to_string(a.algorithm), a.iterations,
+                  a.seconds);
+    out += line;
+  }
+  out += ']';
+  return out;
 }
 
 }  // namespace performa::qbd

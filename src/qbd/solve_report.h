@@ -27,6 +27,7 @@ struct SolveAttempt {
   SolveAlgorithm algorithm = SolveAlgorithm::kSuccessiveSubstitution;
   unsigned iterations = 0;  ///< iterations consumed by this attempt
   double defect = 0.0;      ///< best defect/residual the attempt reached
+  double seconds = 0.0;     ///< wall-clock time (span-backed, obs layer)
   bool converged = false;
   std::string note;         ///< failure reason when !converged
 };

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "linalg/errors.h"
+#include "obs/metrics.h"
 
 namespace performa::runner {
 
@@ -221,9 +222,15 @@ void append_point(const std::string& path, const CheckpointPoint& point) {
   if (f == nullptr) {
     throw NumericalError("append_point: cannot open '" + path + "'");
   }
-  std::fprintf(f, "%s\n", encode_point(point).c_str());
+  const std::string record = encode_point(point);
+  std::fprintf(f, "%s\n", record.c_str());
   std::fflush(f);
   std::fclose(f);
+
+  static obs::Counter& records = obs::counter("runner.checkpoint.records");
+  static obs::Counter& bytes = obs::counter("runner.checkpoint.bytes");
+  records.add(1);
+  bytes.add(record.size() + 1);  // +1: the terminating newline
 }
 
 SweepCheckpoint load_checkpoint(const std::string& path) {

@@ -2,17 +2,21 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <set>
 #include <thread>
 
 #include "linalg/errors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 
 namespace performa::runner {
@@ -48,6 +52,98 @@ struct Slot {
   bool has_deadline = false;       ///< kRunning: timeout armed
   Clock::time_point deadline{};    ///< kRunning: timeout; kBackoff: retry at
   Clock::time_point first_dispatch{};
+  std::unique_ptr<obs::Span> span;  ///< "runner.point": dispatch -> finalize
+};
+
+// Pool instruments, registered once. Counters accumulate over the
+// process lifetime (a progress meter subtracts its start-of-sweep
+// baseline); gauges describe the current pool state.
+struct SweepMetrics {
+  obs::Counter& done = obs::counter("runner.points.done");
+  obs::Counter& degraded = obs::counter("runner.points.degraded");
+  obs::Counter& retries = obs::counter("runner.retries");
+  obs::Counter& timeouts = obs::counter("runner.timeouts");
+  obs::Gauge& inflight = obs::gauge("runner.points.inflight");
+  obs::Gauge& retrying = obs::gauge("runner.points.retrying");
+  obs::Gauge& latency_ema = obs::gauge("runner.point.latency_ema");
+  obs::Histogram& latency = obs::histogram("runner.point.seconds");
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics m;
+  return m;
+}
+
+// --progress rendering, driven by the live metrics registry. On a tty
+// the status line redraws in place (ANSI carriage-return + erase); when
+// stderr is a pipe or file the meter degrades to one plain, newline-
+// terminated line per completed point -- no escape codes, no partial
+// lines -- so logs and CI transcripts stay clean.
+class ProgressMeter {
+ public:
+  ProgressMeter(const std::string& name, std::size_t total, bool enabled)
+      : name_(name),
+        total_(total),
+        enabled_(enabled),
+        tty_(enabled && ::isatty(STDERR_FILENO) == 1),
+        done0_(sweep_metrics().done.value()),
+        degraded0_(sweep_metrics().degraded.value()),
+        retries0_(sweep_metrics().retries.value()) {}
+
+  ~ProgressMeter() {
+    if (dirty_) std::fputc('\n', stderr);  // terminate the in-place line
+  }
+
+  /// Pool-state pulse: remember the worker counts and, on a tty, redraw.
+  void tick(std::size_t running, std::size_t backoff) {
+    if (!enabled_) return;
+    running_ = running;
+    backoff_ = backoff;
+    if (tty_) redraw();
+  }
+
+  /// A point was finalized (metrics already updated by the caller).
+  void point_done(const CheckpointPoint& record, double elapsed) {
+    if (!enabled_) return;
+    if (tty_) {
+      redraw();
+      return;
+    }
+    const SweepMetrics& m = sweep_metrics();
+    std::fprintf(stderr,
+                 "[sweep %s] done %s: %s attempts=%u %.2fs "
+                 "(%llu/%zu done, %llu degraded, %zu running, "
+                 "%zu retrying, ema %.2fs)\n",
+                 name_.c_str(), record.id.c_str(), to_string(record.outcome),
+                 record.attempts, elapsed, delta(m.done.value(), done0_),
+                 total_, delta(m.degraded.value(), degraded0_), running_,
+                 backoff_, m.latency_ema.value());
+  }
+
+ private:
+  static unsigned long long delta(std::uint64_t now, std::uint64_t base) {
+    return static_cast<unsigned long long>(now - base);
+  }
+
+  void redraw() {
+    const SweepMetrics& m = sweep_metrics();
+    std::fprintf(stderr,
+                 "\r\033[K[sweep %s] %llu/%zu done, %llu degraded, "
+                 "%zu running, %zu retrying, %llu retries, ema %.2fs",
+                 name_.c_str(), delta(m.done.value(), done0_), total_,
+                 delta(m.degraded.value(), degraded0_), running_, backoff_,
+                 delta(m.retries.value(), retries0_), m.latency_ema.value());
+    std::fflush(stderr);
+    dirty_ = true;
+  }
+
+  std::string name_;
+  std::size_t total_;
+  bool enabled_;
+  bool tty_;
+  std::uint64_t done0_, degraded0_, retries0_;
+  std::size_t running_ = 0, backoff_ = 0;
+  bool dirty_ = false;
 };
 
 }  // namespace
@@ -103,6 +199,12 @@ SweepResult run_sweep(const std::string& name,
     }
   }
 
+  SweepMetrics& metrics = sweep_metrics();
+  obs::Span sweep_span("runner.sweep");
+  sweep_span.annotate("name", name);
+  sweep_span.annotate("points", static_cast<std::uint64_t>(specs.size()));
+  ProgressMeter progress(name, specs.size(), options.progress);
+
   const bool checkpointing = !options.checkpoint_path.empty();
   SweepCheckpoint prior;
   if (checkpointing) {
@@ -139,20 +241,25 @@ SweepResult run_sweep(const std::string& name,
     }
   }
 
-  // Record a finished point: checkpoint, observability, delivery.
+  // Record a finished point: metrics, checkpoint, observability,
+  // delivery.
   const auto finalize = [&](CheckpointPoint&& record, double elapsed) {
-    if (record.outcome != Outcome::kOk) ++sweep.degraded;
+    if (record.outcome != Outcome::kOk) {
+      ++sweep.degraded;
+      metrics.degraded.add(1);
+    }
+    metrics.done.add(1);
+    metrics.latency.record(elapsed);
+    const double prev_ema = metrics.latency_ema.value();
+    metrics.latency_ema.set(prev_ema == 0.0 ? elapsed
+                                            : 0.8 * prev_ema + 0.2 * elapsed);
     if (checkpointing) append_point(options.checkpoint_path, record);
     if (options.verbose) {
       std::fprintf(stderr, "[sweep %s] %s: %s after %u attempt(s)\n",
                    name.c_str(), record.id.c_str(),
                    to_string(record.outcome), record.attempts);
     }
-    if (options.progress) {
-      std::fprintf(stderr, "[sweep %s] done %s: %s attempts=%u %.2fs\n",
-                   name.c_str(), record.id.c_str(),
-                   to_string(record.outcome), record.attempts, elapsed);
-    }
+    progress.point_done(record, elapsed);
     const std::size_t index = record.index;
     done[index] = std::move(record);
   };
@@ -177,6 +284,9 @@ SweepResult run_sweep(const std::string& name,
       if (done[i].has_value()) continue;  // reused from the checkpoint
       const SweepPointSpec& spec = specs[i];
       const Clock::time_point started = Clock::now();
+      obs::Span point_span("runner.point");
+      point_span.annotate("id", spec.id);
+      metrics.inflight.set(1.0);
       CheckpointPoint record;
       record.index = i;
       record.id = spec.id;
@@ -199,11 +309,18 @@ SweepResult run_sweep(const std::string& name,
             attempt >= options.retry.max_attempts) {
           break;  // record the degraded placeholder and move on
         }
+        metrics.retries.add(1);
         const double backoff = options.retry.backoff_seconds(
             attempt, sim::derive_seed(options.backoff_seed, i));
+        metrics.retrying.set(1.0);
         sleep_seconds(backoff);
+        metrics.retrying.set(0.0);
       }
+      metrics.inflight.set(0.0);
       if (sweep.interrupted) break;
+      point_span.annotate("outcome", to_string(record.outcome));
+      point_span.annotate("attempts",
+                          static_cast<std::uint64_t>(record.attempts));
       finalize(std::move(record), seconds_since(started));
     }
   } else {
@@ -225,7 +342,11 @@ SweepResult run_sweep(const std::string& name,
       slot.attempt = attempt;
       slot.timed_out = false;
       slot.worker = spawn_worker(specs[index].fn);
-      if (attempt == 1) slot.first_dispatch = slot.worker.started;
+      if (attempt == 1) {
+        slot.first_dispatch = slot.worker.started;
+        slot.span = std::make_unique<obs::Span>("runner.point");
+        slot.span->annotate("id", specs[index].id);
+      }
       slot.has_deadline = options.timeout_seconds > 0.0;
       if (slot.has_deadline) {
         slot.deadline =
@@ -243,9 +364,15 @@ SweepResult run_sweep(const std::string& name,
       slot.worker = WorkerHandle{};
       const SweepPointSpec& spec = specs[slot.index];
 
+      if (report.outcome == Outcome::kTimeout) metrics.timeouts.add(1);
+
       if (report.outcome != Outcome::kOk && draining) {
         // The worker most likely died from the shared signal or the
         // drain SIGKILL; recording a bogus crash would poison resume.
+        if (slot.span) {
+          slot.span->annotate("outcome", "abandoned");
+          slot.span.reset();
+        }
         slot.state = Slot::State::kIdle;
         --outstanding;
         return;
@@ -254,6 +381,7 @@ SweepResult run_sweep(const std::string& name,
         attempt_note(spec, slot.attempt, report);
         if (is_transient(report.outcome) &&
             slot.attempt < options.retry.max_attempts) {
+          metrics.retries.add(1);
           const double backoff = options.retry.backoff_seconds(
               slot.attempt,
               sim::derive_seed(options.backoff_seed, slot.index));
@@ -274,6 +402,12 @@ SweepResult run_sweep(const std::string& name,
         record.metrics = report.result.metrics;
         record.rng_state = report.result.rng_state;
       }
+      if (slot.span) {
+        slot.span->annotate("outcome", to_string(record.outcome));
+        slot.span->annotate("attempts",
+                            static_cast<std::uint64_t>(record.attempts));
+        slot.span.reset();
+      }
       finalize(std::move(record), seconds_since(slot.first_dispatch));
       slot.state = Slot::State::kIdle;
       --outstanding;
@@ -291,6 +425,10 @@ SweepResult run_sweep(const std::string& name,
           // A point waiting out a backoff has no work in flight worth
           // draining: abandon it, resume will re-run it.
           if (slot.state == Slot::State::kBackoff) {
+            if (slot.span) {
+              slot.span->annotate("outcome", "abandoned");
+              slot.span.reset();
+            }
             slot.state = Slot::State::kIdle;
             --outstanding;
           }
@@ -305,6 +443,19 @@ SweepResult run_sweep(const std::string& name,
           start_attempt(slot, next++, 1);
           ++outstanding;
         }
+      }
+
+      // Publish the pool state (read by --progress and perfctl
+      // --metrics) once per scheduler turn, not per transition.
+      {
+        std::size_t running = 0, backing_off = 0;
+        for (const Slot& slot : slots) {
+          if (slot.state == Slot::State::kRunning) ++running;
+          if (slot.state == Slot::State::kBackoff) ++backing_off;
+        }
+        metrics.inflight.set(static_cast<double>(running));
+        metrics.retrying.set(static_cast<double>(backing_off));
+        progress.tick(running, backing_off);
       }
       if (outstanding == 0) break;
 
@@ -383,7 +534,14 @@ SweepResult run_sweep(const std::string& name,
         }
       }
     }
+    metrics.inflight.set(0.0);
+    metrics.retrying.set(0.0);
   }
+
+  sweep_span.annotate("degraded",
+                      static_cast<std::uint64_t>(sweep.degraded));
+  sweep_span.annotate("reused", static_cast<std::uint64_t>(sweep.reused));
+  if (sweep.interrupted) sweep_span.annotate("interrupted", "true");
 
   // Deliver in request order. An interrupted sweep returns the longest
   // completed prefix -- out-of-order completions past the first gap are

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include <string>
 
 #include "linalg/errors.h"
+#include "obs/trace.h"
 #include "runner/sweep.h"
 
 namespace performa::runner {
@@ -165,6 +167,17 @@ WorkerHandle spawn_worker(const PointFn& fn) {
   }
   WorkerHandle handle;
   handle.started = std::chrono::steady_clock::now();
+
+  // Compose the fragment path in the parent, before fork, so both sides
+  // agree on it without communicating: the child writes its spans there,
+  // the supervisor merges the file back on reap. File-sink tracing only;
+  // a memory sink has no path a child could hand back.
+  if (obs::trace_enabled() && !obs::trace_file_path().empty()) {
+    static std::atomic<std::uint64_t> seq{0};
+    handle.trace_fragment = obs::trace_file_path() + ".frag." +
+                            std::to_string(seq.fetch_add(1));
+  }
+
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(fds[0]);
@@ -179,9 +192,20 @@ WorkerHandle spawn_worker(const PointFn& fn) {
     // is harmless -- EOF is governed by write ends, and the parent
     // closes its copy of every write end right after forking.)
     ::close(fds[0]);
+    if (!handle.trace_fragment.empty()) {
+      try {
+        obs::reopen_trace_in_child(handle.trace_fragment);
+      } catch (...) {
+        obs::disable_trace();  // cannot open the fragment: run untraced
+      }
+    }
     int code = kExitError;
     try {
-      const PointResult result = fn();
+      PointResult result;
+      {
+        obs::Span span("runner.worker.point");
+        result = fn();
+      }
       write_all(fds[1], encode_result(result));
       code = kExitOk;
     } catch (...) {
@@ -189,6 +213,10 @@ WorkerHandle spawn_worker(const PointFn& fn) {
       write_all(fds[1], "error " + e.message + "\n");
       code = e.exit_code;
     }
+    // _exit skips destructors, so the fragment must be flushed by hand
+    // (disable_trace also fcloses the fragment file).
+    obs::flush_trace();
+    obs::disable_trace();
     ::close(fds[1]);
     ::_exit(code);
   }
@@ -233,6 +261,14 @@ WorkerReport reap_worker(WorkerHandle& worker, bool timed_out,
   }
   const int status = wait_for(worker.pid);
   worker.pid = -1;
+
+  // The worker is gone; fold its trace fragment (if any) into the
+  // supervisor's trace. A worker killed before its first flush simply
+  // left nothing to merge.
+  if (!worker.trace_fragment.empty()) {
+    obs::merge_trace_fragment(worker.trace_fragment);
+    worker.trace_fragment.clear();
+  }
 
   WorkerReport report =
       classify_worker(worker.payload, status, timed_out, timeout_seconds);

@@ -58,6 +58,7 @@ struct WorkerHandle {
   std::string payload;     ///< bytes drained from the pipe so far
   bool eof = false;        ///< worker closed its end (exit or kill)
   std::chrono::steady_clock::time_point started{};
+  std::string trace_fragment;  ///< worker-private trace file, merged on reap
 
   bool running() const noexcept { return pid > 0; }
 };

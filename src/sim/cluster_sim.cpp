@@ -8,6 +8,8 @@
 #include <optional>
 
 #include "linalg/errors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace performa::sim {
 
@@ -73,6 +75,7 @@ void ClusterSimConfig::validate() const {
 }
 
 ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
+  obs::Span span("sim.cluster.run");
   config.validate();
   const bool resuming = config.resume_from != nullptr;
   Rng rng = resuming ? restore_rng_state(config.resume_from->rng_state)
@@ -486,6 +489,28 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
   }
   result.final_rng_state = save_rng_state(rng);
   if (result.paused) result.state = snapshot();
+
+  // Observability is batch-added here, off the event loop: the hot path
+  // above pays nothing for it. Counters are cumulative across runs in
+  // this process; the span carries this run's own totals.
+  {
+    static obs::Counter& events = obs::counter("sim.cluster.events");
+    static obs::Counter& cycles = obs::counter("sim.cluster.cycles");
+    static obs::Counter& crashes = obs::counter("sim.fault.crashes");
+    static obs::Counter& arrivals = obs::counter("sim.fault.arrivals");
+    static obs::Counter& preempts = obs::counter("sim.fault.preemptions");
+    static obs::Counter& runs_degraded = obs::counter("sim.runs.degraded");
+    events.add(result.events);
+    cycles.add(result.cycles);
+    crashes.add(result.injected_crashes);
+    arrivals.add(result.injected_arrivals);
+    preempts.add(result.repair_preemptions);
+    if (result.degraded) runs_degraded.add();
+    span.annotate("events", static_cast<std::uint64_t>(result.events));
+    span.annotate("cycles", static_cast<std::uint64_t>(result.cycles));
+    if (result.degraded) span.annotate("degraded", result.degraded_reason);
+    if (result.paused) span.annotate("paused", 1.0);
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <random>
 
 #include "linalg/errors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 
 namespace performa::sim {
@@ -41,6 +43,7 @@ std::vector<PhaseJumps> build_jumps(const map::Mmpp& mmpp) {
 
 MmppQueueSimResult simulate_mmpp_queue(const map::Mmpp& service,
                                        const MmppQueueSimConfig& config) {
+  PERFORMA_SPAN("sim.mmpp_queue.run");
   PERFORMA_EXPECTS(config.lambda > 0.0, "simulate_mmpp_queue: lambda > 0");
   PERFORMA_EXPECTS(config.horizon > 0.0 && config.warmup >= 0.0,
                    "simulate_mmpp_queue: bad time configuration");
@@ -172,6 +175,15 @@ MmppQueueSimResult simulate_mmpp_queue(const map::Mmpp& service,
     result.mean_queue_length = stats.mean();
     result.probability_empty = stats.pmf(0);
   }
+  // Batch the run's totals into the metrics registry once per call so the
+  // event loop itself stays uninstrumented.
+  {
+    static obs::Counter& runs = obs::counter("sim.mmpp_queue.runs");
+    static obs::Counter& events = obs::counter("sim.mmpp_queue.events");
+    runs.add(1);
+    events.add(result.events);
+  }
+
   result.final_rng_state = save_rng_state(rng);
   if (result.paused) result.state = snapshot();
   return result;

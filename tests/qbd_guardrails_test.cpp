@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -149,6 +150,54 @@ TEST(Guardrails, SolutionCarriesReport) {
   const auto sol = model.solve(model.lambda_for_rho(0.5));
   EXPECT_TRUE(sol.report().converged);
   EXPECT_LT(sol.report().final_defect, 1e-8);
+}
+
+TEST(Guardrails, SummaryCarriesPerAttemptTimingTrail) {
+  // summary() is the one-line form used in sweep logs: it must name the
+  // winning tier with its iteration count AND carry each attempt's
+  // wall-clock time, so a slow fallback chain is visible without the
+  // multi-line report.
+  const core::ClusterModel model{core::ClusterParams{}};
+  const auto sol = model.solve(model.lambda_for_rho(0.5));
+  const SolveReport& report = sol.report();
+  ASSERT_FALSE(report.attempts.empty());
+  for (const SolveAttempt& a : report.attempts) {
+    EXPECT_GE(a.seconds, 0.0) << to_string(a.algorithm);
+  }
+
+  const std::string s = report.summary();
+  EXPECT_EQ(s.find('\n'), std::string::npos) << s;  // stays one line
+  // The winning attempt renders as "*<algorithm>:<iterations>it/<t>s".
+  char winner[96];
+  std::snprintf(winner, sizeof winner, "*%s:%uit/", to_string(report.winner),
+                report.iterations);
+  EXPECT_NE(s.find(winner), std::string::npos) << s;
+  // The trail is bracketed and every element carries a seconds suffix.
+  const std::size_t open = s.find('[');
+  ASSERT_NE(open, std::string::npos) << s;
+  EXPECT_EQ(s.back(), ']') << s;
+  std::size_t elements = 0;
+  for (std::size_t pos = s.find("s", open); pos != std::string::npos;
+       pos = s.find('s', pos + 1)) {
+    if (s[pos + 1] == ' ' || s[pos + 1] == ']') ++elements;
+  }
+  EXPECT_EQ(elements, report.attempts.size()) << s;
+}
+
+TEST(Guardrails, SummaryMarksFailedChain) {
+  const auto mmpp = PaperClusterMmpp(8, 2);
+  SolverOptions opts;
+  opts.max_iterations = 2;  // starve every tier
+  try {
+    solve_r(m_mmpp_1(mmpp, 0.95 * mmpp.mean_rate()), opts);
+    FAIL() << "2 iterations cannot solve this model";
+  } catch (const SolverFailure& e) {
+    const std::string s = e.report().summary();
+    EXPECT_NE(s.find("solver failed"), std::string::npos) << s;
+    // No winner: the trail has no '*' marker.
+    EXPECT_EQ(s.find('*'), std::string::npos) << s;
+    EXPECT_NE(s.find('['), std::string::npos) << s;
+  }
 }
 
 TEST(Guardrails, GSolveReportsAchievedDefect) {

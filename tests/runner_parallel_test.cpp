@@ -14,11 +14,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "linalg/errors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/checkpoint.h"
 #include "runner/outcome.h"
 #include "runner/retry.h"
@@ -457,6 +460,98 @@ TEST(ParallelSweep, SigkillMidParallelSweepResumesBitExact) {
 
   std::remove(ck.c_str());
   std::remove(marker.c_str());
+}
+
+// --- tracing across the fork boundary ---------------------------------
+
+TEST(ParallelSweep, TraceMergesWorkerFragmentsWithDistinctPids) {
+  const std::string trace = TempPath("trace.jsonl");
+  std::remove(trace.c_str());
+  obs::enable_trace_file(trace);
+  SweepOptions opts;
+  opts.jobs = 4;
+  const auto sweep = run_sweep("trace-j4", DeterministicSpecs(8), opts);
+  obs::flush_trace();
+  obs::disable_trace();
+  ASSERT_EQ(sweep.points.size(), 8u);
+
+  // One merged file; every fragment was consumed on reap.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(FileExists(trace + ".frag." + std::to_string(i))) << i;
+  }
+
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "[");
+  const int self = static_cast<int>(::getpid());
+  std::set<std::string> pids;
+  std::size_t records = 0;
+  std::size_t worker_spans = 0;
+  std::size_t parent_spans = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++records;
+    // Structurally complete trace_event record, comma-terminated.
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.substr(line.size() - 2), "},") << line;
+    EXPECT_NE(line.find("\"ph\":\"X\""), std::string::npos) << line;
+    const std::size_t pid_at = line.find("\"pid\":");
+    ASSERT_NE(pid_at, std::string::npos) << line;
+    const std::size_t pid_end = line.find(',', pid_at);
+    const std::string pid = line.substr(pid_at + 6, pid_end - pid_at - 6);
+    pids.insert(pid);
+    if (line.find("\"runner.worker.point\"") != std::string::npos) {
+      ++worker_spans;
+      // Worker records carry the worker's pid, not the supervisor's.
+      EXPECT_NE(pid, std::to_string(self)) << line;
+    }
+    if (line.find("\"runner.point\"") != std::string::npos) {
+      ++parent_spans;
+      EXPECT_EQ(pid, std::to_string(self)) << line;
+      EXPECT_NE(line.find("\"outcome\":\"ok\""), std::string::npos) << line;
+    }
+  }
+  EXPECT_GE(records, 17u);  // 8 worker + 8 parent point spans + the sweep
+  EXPECT_EQ(worker_spans, 8u);
+  EXPECT_EQ(parent_spans, 8u);
+  // A -j4 pool forks one process per point: the merged timeline must
+  // show the supervisor plus several distinct worker pids.
+  EXPECT_GE(pids.size(), 3u) << "want distinct worker pids in the merge";
+  std::remove(trace.c_str());
+}
+
+TEST(ParallelSweep, PoolMetricsCountPointsAndRetries) {
+  obs::reset_metrics_for_test();
+  auto make_specs = [](const std::string& tag) {
+    std::vector<SweepPointSpec> pts;
+    for (int i = 0; i < 4; ++i) {
+      const std::string counter =
+          TempPath("obsfault_" + tag + "_" + std::to_string(i));
+      std::remove(counter.c_str());
+      pts.push_back({PointId(i), [i, counter]() -> PointResult {
+        AppendByte(counter);
+        if (i == 0 && FileSize(counter) < 2) std::abort();
+        return DeterministicPoint(i);
+      }});
+    }
+    return pts;
+  };
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.retry = FastRetries(3);
+  const auto sweep = run_sweep("obs-metrics", make_specs("m"), opts);
+  ASSERT_EQ(sweep.points.size(), 4u);
+  EXPECT_EQ(obs::counter("runner.points.done").value(), 4u);
+  EXPECT_EQ(obs::counter("runner.points.degraded").value(), 0u);
+  EXPECT_EQ(obs::counter("runner.retries").value(), 1u);  // p0 crashed once
+  EXPECT_EQ(obs::histogram("runner.point.seconds").count(), 4u);
+  EXPECT_GT(obs::gauge("runner.point.latency_ema").value(), 0.0);
+  // The pool is idle again.
+  EXPECT_EQ(obs::gauge("runner.points.inflight").value(), 0.0);
+  EXPECT_EQ(obs::gauge("runner.points.retrying").value(), 0.0);
+  obs::reset_metrics_for_test();
 }
 
 }  // namespace
