@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Open-loop load generator for performad.
+
+Drives a running performad instance over its Unix socket at a target
+request rate (open-loop: send times are scheduled on a fixed grid, so a
+slow daemon accumulates lag instead of silently throttling the load --
+the honest way to measure shedding). Reports the outcome mix (ok /
+overloaded / stale / deadline-exceeded / error) and latency percentiles.
+
+Stdlib only. Examples:
+
+    performad --socket /tmp/performad.sock &
+    python3 bench/daemon_loadgen.py --socket /tmp/performad.sock \
+        --qps 200 --duration 5
+    python3 bench/daemon_loadgen.py --selftest
+
+The CI chaos drill uses this to generate mixed load around kill -9s and
+asserts on the JSON summary (--json).
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+
+
+def build_mix(deadline_ms):
+    """A deterministic request mix: cache-friendly repeats of a handful
+    of model points, some derived queries, and parameter-only ops."""
+    mix = []
+    for rho in (0.5, 0.6, 0.7, 0.8):
+        mix.append({"op": "mean", "rho": rho})
+        mix.append({"op": "tail", "rho": rho, "k": 25})
+    mix.append({"op": "mean", "rho": 0.7, "repair": "tpt"})
+    mix.append({"op": "availability"})
+    mix.append({"op": "blowup", "repair": "tpt", "rho": 0.9})
+    mix.append({"op": "ping"})
+    if deadline_ms is not None:
+        for request in mix:
+            request["deadline_ms"] = deadline_ms
+    return mix
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile; p in [0, 100]."""
+    if not sorted_values:
+        return float("nan")
+    if p <= 0:
+        return sorted_values[0]
+    if p >= 100:
+        return sorted_values[-1]
+    rank = max(1, -(-len(sorted_values) * p // 100))  # ceil without math
+    return sorted_values[int(rank) - 1]
+
+
+class Stats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.latencies_ms = []
+        self.outcomes = {}
+        self.stale = 0
+        self.transport_errors = 0
+        self.sent = 0
+        self.max_lag_s = 0.0
+
+    def record(self, response, latency_ms):
+        outcome = response.get("outcome", "missing")
+        with self.lock:
+            self.latencies_ms.append(latency_ms)
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+            if response.get("stale"):
+                self.stale += 1
+
+    def summary(self):
+        with self.lock:
+            lat = sorted(self.latencies_ms)
+            summary = {
+                "sent": self.sent,
+                "answered": len(lat),
+                "outcomes": dict(sorted(self.outcomes.items())),
+                "stale_serves": self.stale,
+                "transport_errors": self.transport_errors,
+                "max_scheduler_lag_s": round(self.max_lag_s, 3),
+            }
+        if lat:
+            summary["latency_ms"] = {
+                "p50": round(percentile(lat, 50), 3),
+                "p90": round(percentile(lat, 90), 3),
+                "p99": round(percentile(lat, 99), 3),
+                "max": round(lat[-1], 3),
+            }
+        return summary
+
+
+class Connection:
+    """One socket: a sender schedules writes, a reader thread matches
+    responses to send timestamps by request id."""
+
+    def __init__(self, path, stats):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.stats = stats
+        self.pending = {}  # id -> send time
+        self.lock = threading.Lock()
+        self.reader = threading.Thread(target=self._read_loop, daemon=True)
+        self.reader.start()
+
+    def send(self, request, request_id):
+        request = dict(request)
+        request["id"] = request_id
+        line = json.dumps(request) + "\n"
+        with self.lock:
+            self.pending[request_id] = time.monotonic()
+        try:
+            self.sock.sendall(line.encode())
+            return True
+        except OSError:
+            with self.lock:
+                self.pending.pop(request_id, None)
+            self.stats.transport_errors += 1
+            return False
+
+    def _read_loop(self):
+        buffer = b""
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                now = time.monotonic()
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    self.stats.transport_errors += 1
+                    continue
+                with self.lock:
+                    sent_at = self.pending.pop(response.get("id"), None)
+                if sent_at is None:
+                    continue
+                self.stats.record(response, (now - sent_at) * 1e3)
+
+    def drain(self, timeout_s):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self.lock:
+                if not self.pending:
+                    return
+            time.sleep(0.01)
+
+    def close(self):
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def run_load(args):
+    stats = Stats()
+    try:
+        connections = [
+            Connection(args.socket, stats) for _ in range(args.connections)
+        ]
+    except OSError as e:
+        print(f"daemon_loadgen: cannot connect to {args.socket}: {e}",
+              file=sys.stderr)
+        return 1
+
+    mix = build_mix(args.deadline_ms)
+    total = (args.requests if args.requests
+             else int(args.qps * args.duration))
+    interval = 1.0 / args.qps
+    start = time.monotonic()
+    for i in range(total):
+        # Open-loop schedule: request i belongs at start + i*interval,
+        # regardless of how the daemon is doing.
+        target = start + i * interval
+        now = time.monotonic()
+        if target > now:
+            time.sleep(target - now)
+        else:
+            stats.max_lag_s = max(stats.max_lag_s, now - target)
+        conn = connections[i % len(connections)]
+        if conn.send(mix[i % len(mix)], f"lg-{i}"):
+            stats.sent += 1
+
+    for conn in connections:
+        conn.drain(args.drain_timeout)
+        conn.close()
+
+    summary = stats.summary()
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(json.dumps(summary, indent=2))
+    return 0
+
+
+def selftest():
+    """Offline checks of the statistics and request-generation code."""
+    assert percentile([], 50) != percentile([], 50)  # NaN
+    assert percentile([5.0], 50) == 5.0
+    values = sorted(float(i) for i in range(1, 101))
+    assert percentile(values, 50) == 50.0
+    assert percentile(values, 99) == 99.0
+    assert percentile(values, 100) == 100.0
+    assert percentile(values, 0) == 1.0
+
+    mix = build_mix(None)
+    assert len(mix) >= 10
+    assert all("op" in request for request in mix)
+    assert not any("deadline_ms" in request for request in mix)
+    with_deadline = build_mix(250)
+    assert all(request["deadline_ms"] == 250 for request in with_deadline)
+    # Requests must be valid flat JSON (the daemon's protocol).
+    for request in mix:
+        parsed = json.loads(json.dumps(request))
+        assert all(not isinstance(v, (dict, list)) for v in parsed.values())
+
+    stats = Stats()
+    stats.sent = 3
+    stats.record({"outcome": "ok", "id": "a"}, 1.0)
+    stats.record({"outcome": "overloaded", "id": "b"}, 0.5)
+    stats.record({"outcome": "deadline-exceeded", "stale": True, "id": "c"},
+                 2.0)
+    summary = stats.summary()
+    assert summary["answered"] == 3
+    assert summary["outcomes"] == {
+        "deadline-exceeded": 1, "ok": 1, "overloaded": 1}
+    assert summary["stale_serves"] == 1
+    assert summary["latency_ms"]["p50"] == 1.0
+    assert summary["latency_ms"]["max"] == 2.0
+    print("daemon_loadgen selftest: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", default="/tmp/performad.sock")
+    parser.add_argument("--qps", type=float, default=100.0,
+                        help="open-loop target request rate")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of load (ignored with --requests)")
+    parser.add_argument("--requests", type=int, default=0,
+                        help="exact request count (overrides --duration)")
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="attach this deadline to every request")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        help="seconds to wait for in-flight responses")
+    parser.add_argument("--json", action="store_true",
+                        help="one-line JSON summary (for CI assertions)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run offline unit checks and exit")
+    args = parser.parse_args()
+    if args.selftest:
+        return selftest()
+    if args.qps <= 0:
+        parser.error("--qps must be positive")
+    return run_load(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

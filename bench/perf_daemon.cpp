@@ -1,0 +1,116 @@
+// performad hot-path benchmarks: the daemon's reason to exist is that a
+// warm cached query costs microseconds where a cold solve costs
+// milliseconds. BM_WarmCacheQuery is the headline number EXPERIMENTS.md
+// quotes and bench_compare.py holds to the regression threshold; the
+// cold-solve and codec cases bound the other per-request costs.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "daemon/cache.h"
+#include "daemon/journal.h"
+#include "daemon/jsonio.h"
+#include "daemon/query.h"
+#include "obs/trace.h"
+
+using namespace performa;
+
+namespace {
+
+daemon::EngineConfig BenchEngineConfig() {
+  daemon::EngineConfig config;  // no journal: pure in-memory engine
+  return config;
+}
+
+// --- the daemon's value proposition -----------------------------------
+
+void BM_WarmCacheQuery(benchmark::State& state) {
+  obs::disable_trace();
+  daemon::QueryEngine engine(BenchEngineConfig());
+  const std::string line = R"({"op":"mean","rho":0.7})";
+  (void)engine.handle_line(line);  // warm the single entry
+  for (auto _ : state) {
+    std::string response = engine.handle_line(line);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetLabel("hits=" + std::to_string(engine.cache().stats().hits));
+}
+
+void BM_WarmTailQuery(benchmark::State& state) {
+  // tail(k) recomputes R^k powers from the cached solution: the cost of
+  // a cached *derived* quantity, not just a memo lookup.
+  obs::disable_trace();
+  daemon::QueryEngine engine(BenchEngineConfig());
+  const std::string line = R"({"op":"tail","rho":0.7,"k":25})";
+  (void)engine.handle_line(line);
+  for (auto _ : state) {
+    std::string response = engine.handle_line(line);
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+void BM_ColdSolveQuery(benchmark::State& state) {
+  // refresh:true defeats the cache: every iteration pays the full QBD
+  // solve (exponential repair -- the cheapest model; the point is the
+  // warm/cold ratio, not the absolute solve time).
+  obs::disable_trace();
+  daemon::QueryEngine engine(BenchEngineConfig());
+  const std::string line = R"({"op":"mean","rho":0.7,"refresh":true})";
+  for (auto _ : state) {
+    std::string response = engine.handle_line(line);
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+// --- per-request codec costs ------------------------------------------
+
+void BM_ParseRequestLine(benchmark::State& state) {
+  const std::string line =
+      R"({"op":"tail","rho":0.75,"k":25,"repair":"tpt","tpt_alpha":1.4,)"
+      R"("deadline_ms":250,"id":"bench-0001"})";
+  for (auto _ : state) {
+    daemon::JsonObject obj;
+    std::string error;
+    bool ok = daemon::parse_json_object(line, obj, error);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(obj);
+  }
+}
+
+void BM_CanonicalModelKey(benchmark::State& state) {
+  daemon::ModelSpec spec;
+  spec.repair = "tpt";
+  spec.rho = 0.75;
+  for (auto _ : state) {
+    std::string key = daemon::canonical_model_key(spec);
+    benchmark::DoNotOptimize(key);
+  }
+}
+
+void BM_JournalRecordEncode(benchmark::State& state) {
+  // The serialization cost a cache insertion adds before the write(2);
+  // encode-only, so the benchmark measures CPU, not the filesystem.
+  obs::disable_trace();
+  daemon::QueryEngine engine(BenchEngineConfig());
+  (void)engine.handle_line(R"({"op":"mean","rho":0.7})");
+  daemon::CachedSolution entry;
+  const auto snapshot = engine.cache().snapshot();
+  entry = snapshot.front().second;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    std::string record =
+        daemon::encode_journal_record(snapshot.front().first, entry, seq++);
+    benchmark::DoNotOptimize(record);
+  }
+}
+
+BENCHMARK(BM_WarmCacheQuery);
+BENCHMARK(BM_WarmTailQuery);
+BENCHMARK(BM_ColdSolveQuery);
+BENCHMARK(BM_ParseRequestLine);
+BENCHMARK(BM_CanonicalModelKey);
+BENCHMARK(BM_JournalRecordEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

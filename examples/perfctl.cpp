@@ -11,6 +11,7 @@
 //   --inject <scenario>  simulate: run a fault-injection scenario
 //   --checkpoint <path>  sweep: append completed points to a checkpoint
 //   --resume             sweep: reuse completed points from --checkpoint
+//   --sync               sweep: fsync every checkpoint append
 //   --golden <path>      sweep: regression-compare against a golden file
 //   --timeout <seconds>  sweep: per-point wall-clock budget (0 = none)
 //   --retries <n>        sweep: attempts per point for transient failures
@@ -65,6 +66,7 @@ struct Flags {
   std::string trace;       // trace_event JSONL output path (empty = off)
   std::string metrics;     // metrics JSON output path (empty = off)
   bool resume = false;
+  bool sync = false;
   bool isolate = true;
   bool progress = false;
   double timeout_seconds = 0.0;
@@ -183,6 +185,7 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
   runner::SweepOptions opts;
   opts.checkpoint_path = flags.checkpoint;
   opts.resume = flags.resume;
+  opts.sync_checkpoint = flags.sync;
   opts.timeout_seconds = flags.timeout_seconds;
   opts.retry.max_attempts = flags.retries;
   opts.isolate = flags.isolate;
@@ -289,6 +292,8 @@ void Usage() {
       "  --inject <scenario>  run a fault-injection scenario (simulate)\n"
       "  --checkpoint <path>  sweep: append completed points to a checkpoint\n"
       "  --resume             sweep: reuse completed points from --checkpoint\n"
+      "  --sync               sweep: fsync every checkpoint append (power-loss\n"
+      "                       durability at a disk round-trip per point)\n"
       "  --golden <path>      sweep: compare results against a golden file\n"
       "  --timeout <seconds>  sweep: per-point wall-clock budget (0 = none)\n"
       "  --retries <n>        sweep: attempts per point on transient failure\n"
@@ -339,6 +344,8 @@ Flags StripFlags(int& argc, char** argv) {
       flags.metrics = value(i, "--metrics");
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       flags.resume = true;
+    } else if (std::strcmp(argv[i], "--sync") == 0) {
+      flags.sync = true;
     } else if (std::strcmp(argv[i], "--no-isolate") == 0) {
       flags.isolate = false;
     } else if (std::strcmp(argv[i], "--progress") == 0) {

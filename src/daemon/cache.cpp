@@ -1,0 +1,121 @@
+#include "daemon/cache.h"
+
+#include "obs/metrics.h"
+
+namespace performa::daemon {
+
+std::size_t solution_footprint_bytes(const CachedSolution& entry,
+                                     const std::string& key) {
+  if (!entry.solution) return key.size() + 128;
+  const std::size_t dim = entry.solution->phase_dim();
+  // r_ + i_minus_r_inv_ (dim^2 doubles each), pi0_ + pi1_ (dim doubles
+  // each), plus list/map node and key overhead.
+  return 2 * dim * dim * sizeof(double) + 2 * dim * sizeof(double) +
+         key.size() + 256;
+}
+
+namespace {
+
+obs::Gauge& cache_bytes_gauge() {
+  static obs::Gauge& g = obs::gauge("daemon.cache.bytes");
+  return g;
+}
+
+obs::Gauge& cache_entries_gauge() {
+  static obs::Gauge& g = obs::gauge("daemon.cache.entries");
+  return g;
+}
+
+}  // namespace
+
+SolutionCache::SolutionCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+bool SolutionCache::get(const std::string& key, CachedSolution& out,
+                        bool count_stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (count_stats) {
+      ++stats_.misses;
+      static obs::Counter& misses = obs::counter("daemon.cache.miss");
+      misses.add(1);
+    }
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->entry;
+  if (count_stats) {
+    ++stats_.hits;
+    static obs::Counter& hits = obs::counter("daemon.cache.hit");
+    hits.add(1);
+  }
+  return true;
+}
+
+void SolutionCache::put(const std::string& key, CachedSolution entry) {
+  const std::size_t footprint = solution_footprint_bytes(entry, key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->footprint;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Node{key, std::move(entry), footprint});
+  index_[key] = lru_.begin();
+  bytes_ += footprint;
+  ++stats_.insertions;
+  evict_to_budget_locked();
+  cache_bytes_gauge().set(static_cast<double>(bytes_));
+  cache_entries_gauge().set(static_cast<double>(lru_.size()));
+}
+
+void SolutionCache::note_stale_serve() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stale_serves;
+  static obs::Counter& stale = obs::counter("daemon.cache.stale_serves");
+  stale.add(1);
+}
+
+void SolutionCache::set_budget_bytes(std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget_bytes;
+  evict_to_budget_locked();
+  cache_bytes_gauge().set(static_cast<double>(bytes_));
+  cache_entries_gauge().set(static_cast<double>(lru_.size()));
+}
+
+CacheStats SolutionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_bytes_;
+  return s;
+}
+
+std::vector<std::pair<std::string, CachedSolution>> SolutionCache::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, CachedSolution>> out;
+  out.reserve(lru_.size());
+  for (const Node& n : lru_) out.emplace_back(n.key, n.entry);
+  return out;
+}
+
+void SolutionCache::evict_to_budget_locked() {
+  // Never evict the sole entry: a single over-budget solution is more
+  // useful resident than recomputed on every query.
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.footprint;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    static obs::Counter& evictions = obs::counter("daemon.cache.evictions");
+    evictions.add(1);
+  }
+}
+
+}  // namespace performa::daemon

@@ -1,0 +1,104 @@
+// Memoized stationary solutions for performad.
+//
+// Solving a cluster model is the expensive step (R-matrix iteration plus
+// the boundary system); evaluating queries against a solved model is
+// cheap. The daemon therefore caches QbdSolution objects keyed by a
+// canonical model hash, under a *byte* budget rather than an entry
+// count -- solutions for large phase spaces cost quadratically more
+// memory than small ones, and an entry-count budget would let a handful
+// of big models evict hundreds of cheap ones' worth of RAM headroom.
+//
+// Entries are shared_ptr<const QbdSolution>: a lookup hands out a
+// reference that stays valid even if the entry is evicted (or the cache
+// budget shrinks via SIGHUP reload) while the query is still computing
+// against it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qbd/solution.h"
+
+namespace performa::daemon {
+
+/// One cached model solution plus the derived scalars queries need
+/// (recomputing them from params on every hit would be cheap but
+/// journal rehydration has no params to recompute from).
+struct CachedSolution {
+  std::shared_ptr<const qbd::QbdSolution> solution;
+  double nu_bar = 0.0;        ///< mean cluster service rate
+  double availability = 0.0;  ///< per-node steady-state availability
+  double utilization = 0.0;   ///< rho the model was solved at
+  double lambda = 0.0;        ///< arrival rate of the solve
+};
+
+/// Approximate resident footprint of one cached solution: the R matrix,
+/// its (I-R)^{-1} companion, the two boundary vectors, plus fixed
+/// bookkeeping overhead. Used for the cache's byte budget.
+std::size_t solution_footprint_bytes(const CachedSolution& entry,
+                                     const std::string& key);
+
+/// Monotonic counters exposed through the daemon's stats op.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t stale_serves = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+/// Thread-safe LRU cache of model solutions with a byte-size budget.
+class SolutionCache {
+ public:
+  explicit SolutionCache(std::size_t budget_bytes);
+
+  /// Lookup; a hit refreshes recency. `count_stats` lets internal
+  /// callers (stale fallback probes) peek without skewing hit ratios.
+  bool get(const std::string& key, CachedSolution& out,
+           bool count_stats = true);
+
+  /// Insert or replace, then evict LRU entries until within budget.
+  /// An entry larger than the whole budget is still admitted alone --
+  /// refusing it would make the daemon useless for exactly the models
+  /// that are most expensive to recompute.
+  void put(const std::string& key, CachedSolution entry);
+
+  /// Record that a cached entry was served past its freshness (solver
+  /// failed or deadline expired and the old answer was used).
+  void note_stale_serve();
+
+  /// Shrink/grow the budget (SIGHUP reload); shrinking evicts at once.
+  void set_budget_bytes(std::size_t budget_bytes);
+
+  CacheStats stats() const;
+
+  /// Snapshot of all live entries, most-recently-used first. Used for
+  /// journal compaction (rewriting only what is still worth keeping).
+  std::vector<std::pair<std::string, CachedSolution>> snapshot() const;
+
+ private:
+  void evict_to_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  // MRU-first list of (key, entry, footprint); map points into it.
+  struct Node {
+    std::string key;
+    CachedSolution entry;
+    std::size_t footprint = 0;
+  };
+  std::list<Node> lru_;
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace performa::daemon

@@ -1,0 +1,335 @@
+#include "daemon/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "linalg/errors.h"
+#include "obs/metrics.h"
+#include "runner/checkpoint.h"
+
+namespace performa::daemon {
+
+namespace {
+
+constexpr char kHeaderPrefix[] = "performad-cache v";
+
+std::string header_line() {
+  return std::string(kHeaderPrefix) + std::to_string(kJournalVersion);
+}
+
+bool parse_header(const std::string& line, int& version) {
+  const std::size_t prefix = sizeof kHeaderPrefix - 1;
+  if (line.compare(0, prefix, kHeaderPrefix) != 0) return false;
+  const std::string digits = line.substr(prefix);
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size()) return false;
+  version = static_cast<int>(v);
+  return true;
+}
+
+// Parses "r123" -> (kind 'r', 123). Returns false for scalar names.
+bool parse_indexed(const std::string& name, char& kind, std::size_t& index) {
+  if (name.size() < 2) return false;
+  kind = name[0];
+  if (kind != 'r' && kind != 'a' && kind != 'b') return false;
+  char* end = nullptr;
+  const unsigned long long i = std::strtoull(name.c_str() + 1, &end, 10);
+  if (end != name.c_str() + name.size()) return false;
+  index = static_cast<std::size_t>(i);
+  return true;
+}
+
+// fsync the directory holding `path` so a rename survives power loss.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+std::string encode_journal_record(const std::string& key,
+                                  const CachedSolution& entry,
+                                  std::uint64_t seq) {
+  PERFORMA_EXPECTS(entry.solution != nullptr,
+                   "encode_journal_record: empty entry");
+  const qbd::QbdSolution& sol = *entry.solution;
+  const std::size_t dim = sol.phase_dim();
+
+  runner::CheckpointPoint point;
+  point.index = static_cast<std::size_t>(seq);
+  point.id = key;
+  point.outcome = runner::Outcome::kOk;
+  point.attempts = 1;
+  point.metrics.reserve(5 + dim * dim + 2 * dim);
+  point.metrics.emplace_back("m", static_cast<double>(dim));
+  point.metrics.emplace_back("nu", entry.nu_bar);
+  point.metrics.emplace_back("av", entry.availability);
+  point.metrics.emplace_back("u", entry.utilization);
+  point.metrics.emplace_back("lam", entry.lambda);
+  const auto indexed = [](char kind, std::size_t i) {
+    std::string name(1, kind);
+    name += std::to_string(i);
+    return name;
+  };
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      point.metrics.emplace_back(indexed('r', i * dim + j), sol.r()(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    point.metrics.emplace_back(indexed('a', i), sol.pi0()[i]);
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    point.metrics.emplace_back(indexed('b', i), sol.pi1()[i]);
+  }
+  return runner::encode_point(point);
+}
+
+bool decode_journal_record(const std::string& line, std::string& key,
+                           CachedSolution& entry) {
+  runner::CheckpointPoint point;
+  if (!runner::decode_point(line, point)) return false;
+  if (point.outcome != runner::Outcome::kOk) return false;
+
+  // One pass over the metric pairs: scalars by name, matrix/vector
+  // entries by parsed index (metric(name) lookups would be quadratic
+  // in the phase dimension).
+  double dim_value = -1.0;
+  CachedSolution out;
+  std::vector<std::pair<std::size_t, double>> r_entries, pi0_entries,
+      pi1_entries;
+  for (const auto& [name, value] : point.metrics) {
+    char kind = 0;
+    std::size_t index = 0;
+    if (parse_indexed(name, kind, index)) {
+      if (kind == 'r') r_entries.emplace_back(index, value);
+      else if (kind == 'a') pi0_entries.emplace_back(index, value);
+      else pi1_entries.emplace_back(index, value);
+    } else if (name == "m") {
+      dim_value = value;
+    } else if (name == "nu") {
+      out.nu_bar = value;
+    } else if (name == "av") {
+      out.availability = value;
+    } else if (name == "u") {
+      out.utilization = value;
+    } else if (name == "lam") {
+      out.lambda = value;
+    } else {
+      return false;  // unknown field: a future format, not this one
+    }
+  }
+  if (dim_value < 1.0 || dim_value != static_cast<double>(
+                             static_cast<std::size_t>(dim_value))) {
+    return false;
+  }
+  const std::size_t dim = static_cast<std::size_t>(dim_value);
+  if (r_entries.size() != dim * dim || pi0_entries.size() != dim ||
+      pi1_entries.size() != dim) {
+    return false;
+  }
+
+  linalg::Matrix r(dim, dim, 0.0);
+  linalg::Vector pi0(dim, 0.0), pi1(dim, 0.0);
+  std::vector<bool> seen_r(dim * dim, false), seen_a(dim, false),
+      seen_b(dim, false);
+  for (const auto& [index, value] : r_entries) {
+    if (index >= dim * dim || seen_r[index]) return false;
+    seen_r[index] = true;
+    r(index / dim, index % dim) = value;
+  }
+  for (const auto& [index, value] : pi0_entries) {
+    if (index >= dim || seen_a[index]) return false;
+    seen_a[index] = true;
+    pi0[index] = value;
+  }
+  for (const auto& [index, value] : pi1_entries) {
+    if (index >= dim || seen_b[index]) return false;
+    seen_b[index] = true;
+    pi1[index] = value;
+  }
+
+  try {
+    out.solution = std::make_shared<qbd::QbdSolution>(
+        std::move(r), std::move(pi0), std::move(pi1));
+  } catch (const std::exception&) {
+    return false;  // well-formed record, numerically nonsensical triple
+  }
+  key = point.id;
+  entry = std::move(out);
+  return true;
+}
+
+CacheJournal::CacheJournal(std::string path, bool sync)
+    : path_(std::move(path)), sync_(sync) {
+  PERFORMA_EXPECTS(!path_.empty(), "CacheJournal: empty path");
+  // Validate an existing header before blindly appending to the file.
+  if (std::FILE* existing = std::fopen(path_.c_str(), "r")) {
+    char line[256];
+    const bool got = std::fgets(line, sizeof line, existing) != nullptr;
+    std::fclose(existing);
+    if (got) {
+      std::string have = line;
+      while (!have.empty() && (have.back() == '\n' || have.back() == '\r')) {
+        have.pop_back();
+      }
+      int version = 0;
+      PERFORMA_EXPECTS(
+          parse_header(have, version) && version >= 1 &&
+              version <= kJournalVersion,
+          "CacheJournal: '" + path_ + "' exists but is not a performad "
+          "cache journal (header '" + have + "')");
+    }
+  }
+  open_for_append();
+}
+
+CacheJournal::~CacheJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CacheJournal::open_for_append() {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw NumericalError("CacheJournal: cannot open '" + path_ + "': " +
+                         std::strerror(errno));
+  }
+  struct ::stat st {};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    const std::string header = header_line() + "\n";
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      throw NumericalError("CacheJournal: cannot write header to '" + path_ +
+                           "'");
+    }
+    if (sync_) ::fsync(fd_);
+  }
+}
+
+void CacheJournal::append(const std::string& key,
+                          const CachedSolution& entry) {
+  const std::string record = encode_journal_record(key, entry, seq_) + "\n";
+  // One write(2) for the whole record: O_APPEND writes are atomic with
+  // respect to SIGKILL (the kernel has all the bytes or none), so the
+  // journal cannot hold a torn record from a process kill -- only a
+  // short write (ENOSPC) can truncate one, and the CRC drops it at load.
+  const ssize_t n = ::write(fd_, record.data(), record.size());
+  if (n != static_cast<ssize_t>(record.size())) {
+    throw NumericalError("CacheJournal: short write to '" + path_ + "': " +
+                         std::strerror(errno));
+  }
+  if (sync_ && ::fsync(fd_) != 0) {
+    throw NumericalError("CacheJournal: fsync failed on '" + path_ + "'");
+  }
+  ++seq_;
+
+  static obs::Counter& records = obs::counter("daemon.journal.records");
+  static obs::Counter& bytes = obs::counter("daemon.journal.bytes");
+  records.add(1);
+  bytes.add(record.size());
+}
+
+void CacheJournal::compact(
+    const std::vector<std::pair<std::string, CachedSolution>>& entries) {
+  const std::string tmp = path_ + ".tmp";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) {
+    throw NumericalError("CacheJournal: cannot create '" + tmp + "'");
+  }
+  std::string out = header_line() + "\n";
+  std::uint64_t seq = 0;
+  for (const auto& [key, entry] : entries) {
+    out += encode_journal_record(key, entry, seq++);
+    out += '\n';
+  }
+  const bool ok =
+      ::write(tfd, out.data(), out.size()) == static_cast<ssize_t>(out.size()) &&
+      ::fsync(tfd) == 0;
+  ::close(tfd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    throw NumericalError("CacheJournal: cannot write '" + tmp + "'");
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw NumericalError("CacheJournal: rename to '" + path_ + "' failed");
+  }
+  sync_parent_dir(path_);
+  if (fd_ >= 0) ::close(fd_);
+  open_for_append();
+  static obs::Counter& compactions = obs::counter("daemon.journal.compactions");
+  compactions.add(1);
+}
+
+JournalLoad load_journal(const std::string& path) {
+  JournalLoad load;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return load;  // first boot: nothing to recover
+
+  std::string line;
+  char buf[4096];
+  bool saw_header = false;
+  // key -> position in load.entries, for later-records-win.
+  std::unordered_map<std::string, std::size_t> by_key;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line += buf;
+    if ((line.empty() || line.back() != '\n') && !std::feof(f)) {
+      continue;  // long record, keep reading
+    }
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!saw_header) {
+      int version = 0;
+      if (!parse_header(line, version) || version < 1 ||
+          version > kJournalVersion) {
+        std::fclose(f);
+        throw InvalidArgument("load_journal: '" + path + "' is not a v1.." +
+                              std::to_string(kJournalVersion) +
+                              " performad cache journal (header '" + line +
+                              "')");
+      }
+      saw_header = true;
+    } else if (!line.empty()) {
+      std::string key;
+      CachedSolution entry;
+      if (decode_journal_record(line, key, entry)) {
+        ++load.records;
+        auto it = by_key.find(key);
+        if (it != by_key.end()) {
+          load.entries[it->second].second = std::move(entry);  // later wins
+        } else {
+          by_key.emplace(key, load.entries.size());
+          load.entries.emplace_back(std::move(key), std::move(entry));
+        }
+      } else {
+        ++load.dropped_records;
+      }
+    }
+    line.clear();
+  }
+  std::fclose(f);
+  if (!saw_header && load.records == 0) {
+    // Zero-length file (daemon killed between create and header write):
+    // treat as first boot rather than corruption.
+    return load;
+  }
+  return load;
+}
+
+}  // namespace performa::daemon

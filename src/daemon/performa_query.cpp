@@ -1,0 +1,170 @@
+// performa-query: a small client for performad.
+//
+// Sends one request per input line (stdin, or a single request built
+// from --op and passthrough JSON via --json) to the daemon's Unix
+// socket, prints one response line per request, and exits non-zero
+// when any response carries ok:false.
+//
+//   performa-query --socket /tmp/performad.sock --json '{"op":"ping"}'
+//   printf '%s\n' '{"op":"mean","rho":0.7}' | performa-query
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--deadline-ms N] [--json LINE]\n"
+               "\n"
+               "  --socket PATH    daemon socket (default /tmp/performad.sock)\n"
+               "  --deadline-ms N  inject a deadline_ms field into requests\n"
+               "                   that lack one\n"
+               "  --json LINE      send this one request instead of stdin\n",
+               argv0);
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly one '\n'-terminated response line.
+bool recv_line(int fd, std::string& carry, std::string& line) {
+  while (true) {
+    const std::size_t nl = carry.find('\n');
+    if (nl != std::string::npos) {
+      line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      return true;
+    }
+    char buf[8192];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    carry.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Splice `,"deadline_ms":N` into a request that lacks the field.
+std::string with_deadline(const std::string& line, double deadline_ms) {
+  if (line.find("\"deadline_ms\"") != std::string::npos) return line;
+  const std::size_t brace = line.rfind('}');
+  if (brace == std::string::npos) return line;
+  char field[64];
+  std::snprintf(field, sizeof field, "%s\"deadline_ms\":%g",
+                line.find(':') == std::string::npos ? "" : ",", deadline_ms);
+  std::string out = line;
+  out.insert(brace, field);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/performad.sock";
+  std::string one_shot;
+  double deadline_ms = 0.0;
+  bool have_deadline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "--json" && has_value) {
+      one_shot = argv[++i];
+    } else if (arg == "--deadline-ms" && has_value) {
+      char* end = nullptr;
+      deadline_ms = std::strtod(argv[++i], &end);
+      have_deadline = end != argv[i] && *end == '\0';
+      if (!have_deadline) {
+        std::fprintf(stderr, "performa-query: bad --deadline-ms\n");
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "performa-query: bad argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> requests;
+  if (!one_shot.empty()) {
+    requests.push_back(one_shot);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "performa-query: nothing to send\n");
+    return 2;
+  }
+
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "performa-query: cannot connect to '%s': %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return 1;
+  }
+
+  int rc = 0;
+  std::string carry;
+  for (const std::string& request : requests) {
+    std::string line =
+        have_deadline ? with_deadline(request, deadline_ms) : request;
+    line += '\n';
+    if (!send_all(fd, line)) {
+      std::fprintf(stderr, "performa-query: send failed\n");
+      rc = 1;
+      break;
+    }
+    std::string response;
+    if (!recv_line(fd, carry, response)) {
+      std::fprintf(stderr, "performa-query: daemon closed the connection\n");
+      rc = 1;
+      break;
+    }
+    std::printf("%s\n", response.c_str());
+    if (response.find("\"ok\":false") != std::string::npos) rc = 3;
+  }
+  ::close(fd);
+  return rc;
+}

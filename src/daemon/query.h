@@ -1,0 +1,116 @@
+// performad's query engine: request -> (cached) solution -> answer.
+//
+// The engine is the transport-independent core of the daemon. It owns
+// the solution cache and its journal; the socket server hands it one
+// parsed request at a time (with a cooperative obs::DeadlineScope
+// already installed on the calling thread) and gets back exactly one
+// JSON response line.
+//
+// Degradation contract: a request whose solve blows its deadline or
+// fails numerically is answered from the last known-good cached
+// solution for the same model when one exists -- tagged `stale: true`
+// with the failure's outcome -- and only becomes an error response when
+// the cache has nothing to fall back to. Invalid requests never fall
+// back (a bad model spec has no meaningful stale answer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "daemon/cache.h"
+#include "daemon/journal.h"
+#include "daemon/jsonio.h"
+
+namespace performa::daemon {
+
+/// The model parameters a request may carry, with the paper's running
+/// example as defaults (2 nodes, nu_p = 2, delta = 0.2, exponential
+/// MTTF 90, repair MTTR 10).
+struct ModelSpec {
+  unsigned n_servers = 2;
+  double nu_p = 2.0;
+  double delta = 0.2;
+  double mttf = 90.0;
+  std::string repair = "exp";  ///< "exp" | "erlang" | "tpt"
+  double mttr = 10.0;
+  unsigned tpt_phases = 10;
+  double tpt_alpha = 1.4;
+  double tpt_theta = 0.5;
+  unsigned erlang_k = 2;
+  double rho = 0.7;  ///< utilization the model is solved at
+
+  /// Per-node steady-state availability MTTF / (MTTF + MTTR).
+  double availability() const noexcept { return mttf / (mttf + mttr); }
+  /// nu_bar = N nu_p (A + delta (1 - A)).
+  double mean_service_rate() const noexcept;
+};
+
+/// Fill `spec` from a request's fields; false + message on out-of-range
+/// or unknown values. Absent fields keep their defaults.
+bool parse_model(const JsonObject& request, ModelSpec& spec,
+                 std::string& error);
+
+/// Canonical cache key: every parameter that influences the solution,
+/// ';'-separated, doubles as hex-floats so two specs share a key iff
+/// they are bit-identical. Erlang/TPT shape fields only appear for the
+/// repair kinds that use them (an exp spec's key is insensitive to
+/// leftover tpt_* fields in the request).
+std::string canonical_model_key(const ModelSpec& spec);
+
+struct EngineConfig {
+  std::size_t cache_budget_bytes = std::size_t{64} << 20;
+  std::string journal_path;  ///< empty disables persistence
+  bool sync_journal = true;  ///< fsync per journal append (crash-only default)
+  bool debug_ops = false;    ///< enable the "debug-sleep" test op
+};
+
+/// Statistics the server's "stats" op reports alongside cache counters.
+struct EngineStats {
+  std::uint64_t solves = 0;
+  std::uint64_t solve_failures = 0;
+  std::uint64_t deadline_exceeded = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineConfig config);
+
+  /// Load the journal (when configured) into the cache. Returns the
+  /// load summary; corrupt records are dropped, not fatal.
+  JournalLoad rehydrate();
+
+  /// Handle one raw request line; always returns one JSON object (no
+  /// trailing newline), even for unparseable input.
+  std::string handle_line(const std::string& line);
+
+  /// Handle a parsed request. The caller's thread-local DeadlineScope
+  /// (if any) bounds all solver work.
+  std::string handle(const JsonObject& request);
+
+  /// Rewrite the journal from the current cache snapshot.
+  void compact_journal();
+
+  SolutionCache& cache() noexcept { return cache_; }
+  const EngineConfig& config() const noexcept { return config_; }
+  EngineStats stats() const;
+
+  /// SIGHUP reload: apply a new cache budget.
+  void set_cache_budget(std::size_t bytes);
+
+ private:
+  /// Build and solve the model (throws DeadlineExceeded /
+  /// NumericalError / InvalidArgument), cache + journal the result.
+  CachedSolution solve_and_store(const ModelSpec& spec,
+                                 const std::string& key);
+
+  EngineConfig config_;
+  SolutionCache cache_;
+  std::unique_ptr<CacheJournal> journal_;
+  std::mutex journal_mutex_;
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+};
+
+}  // namespace performa::daemon

@@ -35,6 +35,16 @@ class NonFiniteError : public NumericalError {
   using NumericalError::NumericalError;
 };
 
+/// Thrown when a computation aborts cooperatively because the calling
+/// thread's installed deadline (obs::DeadlineScope) expired or was
+/// cancelled. The result is neither wrong nor impossible -- the caller
+/// ran out of time budget -- so serving layers translate this into a
+/// degraded (stale/timeout) answer rather than a failure.
+class DeadlineError : public NumericalError {
+ public:
+  using NumericalError::NumericalError;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid(const std::string& what) {
   throw InvalidArgument(what);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/lu.h"
+#include "obs/deadline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -46,7 +47,15 @@ Matrix expm_pade13(const Matrix& a, int squarings) {
                    kPade13[0] * eye;
 
   Matrix result = Lu(v - u).solve(v + u);
-  for (int i = 0; i < squarings; ++i) result = result * result;
+  for (int i = 0; i < squarings; ++i) {
+    // The squaring phase dominates for large ||A||; poll the cooperative
+    // deadline between the O(n^3) squarings so a request cannot wedge
+    // its worker inside one expm call.
+    if (obs::deadline_expired()) {
+      throw DeadlineError("expm: deadline expired during squaring phase");
+    }
+    result = result * result;
+  }
   return result;
 }
 
@@ -72,6 +81,9 @@ Matrix expm(const Matrix& a) {
   // value. Retry under tightened scaling -- more squarings shrink the
   // argument the rational approximant actually sees -- before giving up.
   for (int attempt = 0; attempt < 3; ++attempt) {
+    if (obs::deadline_expired()) {
+      throw DeadlineError("expm: deadline expired before Padé evaluation");
+    }
     if (attempt > 0) retries.add();
     const Matrix result = expm_pade13(a, squarings + 4 * attempt);
     if (is_finite(result) &&

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/deadline.h"
 #include "obs/metrics.h"
 
 namespace performa::linalg {
@@ -21,6 +22,13 @@ Lu::Lu(const Matrix& a) : lu_(a) {
   min_pivot_ = std::numeric_limits<double>::infinity();
 
   for (std::size_t k = 0; k < n; ++k) {
+    // Cooperative deadline poll, throttled so small factorizations (the
+    // vast majority: QBD phase blocks) pay nothing measurable. Only
+    // systems big enough for one factorization to take visible wall time
+    // check at all.
+    if (n >= 128 && (k & 63u) == 0 && obs::deadline_expired()) {
+      throw DeadlineError("Lu: deadline expired during factorization");
+    }
     // Partial pivot: largest |entry| in column k at or below the diagonal.
     std::size_t p = k;
     double best = std::abs(lu_(k, k));

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "linalg/lu.h"
+#include "obs/deadline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,10 @@ struct Candidate {
   Matrix r;
   SolveAttempt attempt;
   double condition = 0.0;
+  // The attempt was cut off by the thread's cooperative deadline, not by
+  // a numerical failure: solve_r must stop the chain (a fallback tier
+  // would blow the same budget) and surface DeadlineExceeded.
+  bool deadline_expired = false;
 };
 
 // Both linearly convergent tiers (successive substitution and the
@@ -66,6 +71,12 @@ Candidate attempt_successive(const QbdBlocks& b, double tol, unsigned budget) {
   double window_diff = std::numeric_limits<double>::infinity();
   char note[160];
   for (unsigned it = 1; it <= budget; ++it) {
+    if (obs::deadline_expired()) {
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.note = "aborted: deadline expired";
+      c.deadline_expired = true;
+      return c;
+    }
     // R_{k+1} (-A1) = A0 + R_k^2 A2
     const Matrix next = neg_a1.solve_left(b.a0 + r * r * b.a2);
     c.attempt.iterations = it;
@@ -121,6 +132,11 @@ GSolveResult logred_impl(const QbdBlocks& b, double tol, unsigned budget) {
   double best_defect = std::numeric_limits<double>::infinity();
   unsigned stagnant = 0;
   for (unsigned it = 1; it <= cap; ++it) {
+    if (obs::deadline_expired()) {
+      out.defect = best_defect;
+      out.deadline_expired = true;
+      return out;
+    }
     const Matrix u = h * l + l * h;
     const linalg::Lu eye_minus_u(eye - u);
     h = eye_minus_u.solve(h * h);
@@ -167,6 +183,12 @@ Candidate attempt_logred(const QbdBlocks& b, double tol, unsigned budget) {
 
   const GSolveResult g = logred_impl(b, tol, budget);
   c.attempt.iterations = g.iterations;
+  if (g.deadline_expired) {
+    c.attempt.defect = g.defect;
+    c.attempt.note = "aborted: deadline expired";
+    c.deadline_expired = true;
+    return c;
+  }
   if (!g.converged) {
     c.attempt.defect = g.defect;
     char note[96];
@@ -206,6 +228,12 @@ Candidate attempt_newton_shifted(const QbdBlocks& b, double tol,
   double window_diff = std::numeric_limits<double>::infinity();
   char note[160];
   for (unsigned it = 1; it <= budget; ++it) {
+    if (obs::deadline_expired()) {
+      c.attempt.defect = residual_norm(b, r);
+      c.attempt.note = "aborted: deadline expired";
+      c.deadline_expired = true;
+      return c;
+    }
     // One-sided Newton step: freeze the quadratic term's leading factor at
     // the current iterate, giving R_{k+1} = A0 * (-(A1 + R_k A2))^{-1}.
     // The local block is re-shifted by the current down-drift R_k A2 every
@@ -307,6 +335,10 @@ Candidate run_tier(SolveAlgorithm tier, const QbdBlocks& b,
 
 GSolveResult solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
   GSolveResult g = logred_impl(b, opts.tolerance, opts.max_iterations);
+  if (g.deadline_expired) {
+    throw DeadlineError(
+        "solve_g_logred: deadline expired mid-iteration (cooperative abort)");
+  }
   if (!g.converged) {
     char msg[256];
     std::snprintf(msg, sizeof msg,
@@ -328,6 +360,15 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
   blocks.validate();
 
   SolveReport report;
+  // A request that arrives with its budget already spent must not buy
+  // even the stability pre-check (one GTH solve): abort immediately so
+  // the serving layer can degrade to a cached answer.
+  if (obs::deadline_expired()) {
+    report.deadline_exceeded = true;
+    throw DeadlineExceeded(
+        "solve_r: deadline already expired before the stability pre-check",
+        std::move(report));
+  }
   // Stability pre-check: the mean-drift condition on the aggregated phase
   // process costs one GTH solve and rejects hopeless configurations
   // before any iteration budget is spent.
@@ -359,11 +400,25 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
     Candidate c;
     try {
       c = run_tier(chain[i], blocks, opts, /*is_fallback=*/i > 0);
+    } catch (const DeadlineError& e) {
+      // An inner kernel (LU, expm) hit the deadline first; same abort
+      // path as the tier loops noticing it themselves.
+      c.attempt.algorithm = chain[i];
+      c.attempt.note = e.what();
+      c.deadline_expired = true;
     } catch (const NumericalError& e) {
       c.attempt.algorithm = chain[i];
       c.attempt.note = e.what();
     }
     report.attempts.push_back(c.attempt);
+    if (c.deadline_expired) {
+      // Escalating to a fallback tier would burn the same exhausted
+      // budget: stop the chain and report the cooperative abort.
+      report.deadline_exceeded = true;
+      throw DeadlineExceeded(
+          "solve_r: deadline expired mid-solve (cooperative abort)",
+          std::move(report));
+    }
     if (!c.attempt.converged) continue;
 
     report.converged = true;

@@ -55,6 +55,9 @@ struct GSolveResult {
   unsigned iterations = 0;  ///< doubling steps used
   double defect = 0.0;      ///< max_i |1 - (G e)_i| actually achieved
   bool converged = false;
+  /// The iteration was cut off by the calling thread's cooperative
+  /// deadline (obs::DeadlineScope) rather than by non-convergence.
+  bool deadline_expired = false;
 };
 
 /// Compute R by the selected algorithm, with guarded fallbacks (see file

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/lu.h"
+#include "obs/deadline.h"
 #include "obs/trace.h"
 
 namespace performa::qbd {
@@ -63,6 +64,11 @@ QbdSolution::QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts) {
   report_ = std::move(rs.report);
 
   PERFORMA_SPAN("qbd.solution.assemble");
+  if (obs::deadline_expired()) {
+    report_.deadline_exceeded = true;
+    throw DeadlineExceeded(
+        "QbdSolution: deadline expired before boundary assembly", report_);
+  }
   const std::size_t m = blocks.phase_dim();
   i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
   solve_boundary(blocks, r_, i_minus_r_inv_, pi0_, pi1_);
@@ -87,6 +93,37 @@ QbdSolution::QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts) {
   }
 }
 
+QbdSolution::QbdSolution(Matrix r, Vector pi0, Vector pi1,
+                         SolveReport report)
+    : r_(std::move(r)),
+      pi0_(std::move(pi0)),
+      pi1_(std::move(pi1)),
+      report_(std::move(report)) {
+  const std::size_t m = r_.rows();
+  PERFORMA_EXPECTS(r_.is_square() && m > 0 && pi0_.size() == m &&
+                       pi1_.size() == m,
+                   "QbdSolution: rehydrated R/pi0/pi1 shapes disagree");
+  linalg::check_finite(r_, "QbdSolution: rehydrated R");
+  linalg::check_finite(pi0_, "QbdSolution: rehydrated pi0");
+  linalg::check_finite(pi1_, "QbdSolution: rehydrated pi1");
+  if (spectral_radius(r_) >= 1.0) {
+    throw NumericalError(
+        "QbdSolution: rehydrated R has spectral radius >= 1 (corrupt or "
+        "mismatched journal entry)");
+  }
+  i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
+  const double total = linalg::sum(pi0_) +
+          linalg::dot(pi1_, i_minus_r_inv_ * linalg::ones(m));
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw NumericalError(
+        "QbdSolution: rehydrated solution is not normalized (corrupt or "
+        "mismatched journal entry)");
+  }
+  report_.converged = true;
+  r_iterations_ = report_.iterations;
+  r_residual_ = report_.final_defect;
+}
+
 double QbdSolution::probability_empty() const { return linalg::sum(pi0_); }
 
 double QbdSolution::pmf(std::size_t k) const {
@@ -101,6 +138,11 @@ Vector QbdSolution::pmf_upto(std::size_t k_max) const {
   out[0] = probability_empty();
   Vector v = pi1_;
   for (std::size_t k = 1; k <= k_max; ++k) {
+    // QoS bisection sweeps k_max into the millions; poll the cooperative
+    // deadline so a tail expansion honours its request budget too.
+    if ((k & 4095u) == 0 && obs::deadline_expired()) {
+      throw DeadlineError("pmf_upto: deadline expired during level sweep");
+    }
     out[k] = linalg::sum(v);
     v = v * r_;
   }

@@ -15,6 +15,14 @@ class QbdSolution {
   /// is unstable or the solvers fail to converge.
   explicit QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts = {});
 
+  /// Rebuild a solution from previously computed parts -- the daemon's
+  /// cache-journal rehydration path. `r`, `pi0`, `pi1` must come from an
+  /// earlier successful solve of the same model; (I-R)^{-1} is
+  /// recomputed, shapes and the matrix-geometric normalization are
+  /// re-validated (a corrupted or mismatched triple throws instead of
+  /// silently serving wrong probabilities).
+  QbdSolution(Matrix r, Vector pi0, Vector pi1, SolveReport report = {});
+
   const Matrix& r() const noexcept { return r_; }
   const Vector& pi0() const noexcept { return pi0_; }
   const Vector& pi1() const noexcept { return pi1_; }

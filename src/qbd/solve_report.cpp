@@ -21,8 +21,10 @@ std::string SolveReport::to_string() const {
   std::string out;
   std::snprintf(line, sizeof line,
                 "SolveReport: %s, winner=%s, iterations=%u\n",
-                converged ? "converged" : "FAILED", qbd::to_string(winner),
-                iterations);
+                converged          ? "converged"
+                : deadline_exceeded ? "DEADLINE EXCEEDED"
+                                    : "FAILED",
+                qbd::to_string(winner), iterations);
   out += line;
   std::snprintf(line, sizeof line,
                 "  defect=%.3e  sp(R)=%.6f  cond~%.3e  rho=%.6f\n",
@@ -50,7 +52,9 @@ std::string SolveReport::summary() const {
   std::snprintf(line, sizeof line,
                 "%s: %s after %u its over %zu attempt(s), defect=%.3e, "
                 "sp(R)=%.4f, rho=%.4f",
-                converged ? "converged" : "solver failed",
+                converged          ? "converged"
+                : deadline_exceeded ? "deadline exceeded"
+                                    : "solver failed",
                 qbd::to_string(winner), iterations, attempts.size(),
                 final_defect, spectral_radius, utilization);
   std::string out = line;

@@ -35,6 +35,10 @@ struct SolveAttempt {
 /// Full diagnostics of one R-matrix solve.
 struct SolveReport {
   bool converged = false;
+  /// The solve aborted cooperatively: the thread's installed deadline
+  /// (obs::DeadlineScope) expired or was cancelled mid-iteration. The
+  /// interrupted attempt's note records where the budget ran out.
+  bool deadline_exceeded = false;
   SolveAlgorithm winner = SolveAlgorithm::kLogarithmicReduction;
   unsigned iterations = 0;       ///< iterations of the winning attempt
   double final_defect = 0.0;     ///< ||A0 + R A1 + R^2 A2||_inf at return
@@ -57,6 +61,24 @@ class SolverFailure : public NumericalError {
   SolverFailure(const std::string& what, SolveReport report)
       : NumericalError(what + "\n" + report.to_string()),
         report_(std::move(report)) {}
+
+  const SolveReport& report() const noexcept { return report_; }
+
+ private:
+  SolveReport report_;
+};
+
+/// The solve was aborted cooperatively because the calling thread's
+/// deadline expired (or its token was cancelled) between iterations;
+/// carries the partial report with deadline_exceeded set. The solve did
+/// not fail -- it ran out of budget -- so callers with a cached prior
+/// answer can degrade to it instead of erroring.
+class DeadlineExceeded : public DeadlineError {
+ public:
+  DeadlineExceeded(const std::string& what, SolveReport report)
+      : DeadlineError(what), report_(std::move(report)) {
+    report_.deadline_exceeded = true;
+  }
 
   const SolveReport& report() const noexcept { return report_; }
 

@@ -1,5 +1,7 @@
 #include "runner/checkpoint.h"
 
+#include <unistd.h>
+
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -217,7 +219,8 @@ void open_checkpoint(const std::string& path, const std::string& sweep_name) {
   std::fclose(f);
 }
 
-void append_point(const std::string& path, const CheckpointPoint& point) {
+void append_point(const std::string& path, const CheckpointPoint& point,
+                  bool sync) {
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
     throw NumericalError("append_point: cannot open '" + path + "'");
@@ -225,6 +228,10 @@ void append_point(const std::string& path, const CheckpointPoint& point) {
   const std::string record = encode_point(point);
   std::fprintf(f, "%s\n", record.c_str());
   std::fflush(f);
+  if (sync && ::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    throw NumericalError("append_point: fsync failed on '" + path + "'");
+  }
   std::fclose(f);
 
   static obs::Counter& records = obs::counter("runner.checkpoint.records");

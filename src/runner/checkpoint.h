@@ -80,8 +80,15 @@ std::uint32_t crc32(std::string_view data);
 /// NumericalError on I/O failure.
 void open_checkpoint(const std::string& path, const std::string& sweep_name);
 
-/// Append one point record and flush it to disk.
-void append_point(const std::string& path, const CheckpointPoint& point);
+/// Append one point record and flush it to disk. With `sync` the record
+/// is also fsync'd before the call returns: a flush only moves bytes
+/// into the kernel, so a *power-loss*-style kill can otherwise drop an
+/// arbitrary suffix of flushed records -- or, worse, persist a torn
+/// page whose prefix happens to parse. fsync closes that window at the
+/// cost of one disk round-trip per record; the daemon's cache journal
+/// defaults it on, high-throughput sweeps leave it off.
+void append_point(const std::string& path, const CheckpointPoint& point,
+                  bool sync = false);
 
 /// Load a v1 or v2 checkpoint. Corrupt or truncated records are counted
 /// in dropped_records and skipped; a bad header throws InvalidArgument.

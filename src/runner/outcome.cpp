@@ -18,13 +18,16 @@ const char* to_string(Outcome o) noexcept {
       return "solver-failure";
     case Outcome::kUnstableModel:
       return "unstable-model";
+    case Outcome::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }
 
 bool outcome_from_string(std::string_view text, Outcome& out) noexcept {
   for (Outcome o : {Outcome::kOk, Outcome::kTimeout, Outcome::kCrash,
-                    Outcome::kSolverFailure, Outcome::kUnstableModel}) {
+                    Outcome::kSolverFailure, Outcome::kUnstableModel,
+                    Outcome::kDeadlineExceeded}) {
     if (text == to_string(o)) {
       out = o;
       return true;
@@ -34,7 +37,10 @@ bool outcome_from_string(std::string_view text, Outcome& out) noexcept {
 }
 
 bool is_transient(Outcome o) noexcept {
-  return o == Outcome::kTimeout || o == Outcome::kCrash;
+  // Deadline aborts are wall-clock-relative, like timeouts: a retry runs
+  // under a fresh budget and may well make it.
+  return o == Outcome::kTimeout || o == Outcome::kCrash ||
+         o == Outcome::kDeadlineExceeded;
 }
 
 Outcome outcome_from_exit_code(int code) noexcept {
@@ -45,6 +51,8 @@ Outcome outcome_from_exit_code(int code) noexcept {
       return Outcome::kSolverFailure;
     case kExitUnstableModel:
       return Outcome::kUnstableModel;
+    case kExitDeadlineExceeded:
+      return Outcome::kDeadlineExceeded;
     default:
       return Outcome::kCrash;
   }
@@ -57,6 +65,14 @@ ClassifiedError classify_current_exception() noexcept {
   } catch (const qbd::UnstableModel& ex) {
     e.exit_code = kExitUnstableModel;
     e.outcome = Outcome::kUnstableModel;
+    e.message = ex.what();
+  } catch (const qbd::DeadlineExceeded& ex) {
+    e.exit_code = kExitDeadlineExceeded;
+    e.outcome = Outcome::kDeadlineExceeded;
+    e.message = ex.report().summary();
+  } catch (const DeadlineError& ex) {
+    e.exit_code = kExitDeadlineExceeded;
+    e.outcome = Outcome::kDeadlineExceeded;
     e.message = ex.what();
   } catch (const qbd::SolverFailure& ex) {
     e.exit_code = kExitSolverFailure;

@@ -19,6 +19,9 @@ enum class Outcome {
   kCrash,          ///< worker died: signal, unexpected exit, bad payload
   kSolverFailure,  ///< qbd::SolverFailure -- fallback chain exhausted
   kUnstableModel,  ///< qbd::UnstableModel -- no stationary solution
+  /// The point aborted cooperatively on its obs::Deadline (no SIGKILL
+  /// needed). Transient like kTimeout: a retry gets a fresh budget.
+  kDeadlineExceeded,
 };
 
 const char* to_string(Outcome o) noexcept;
@@ -36,6 +39,7 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitSolverFailure = 40;
 inline constexpr int kExitUnstableModel = 41;
 inline constexpr int kExitError = 42;  ///< other exception -> kCrash
+inline constexpr int kExitDeadlineExceeded = 43;  ///< cooperative abort
 
 /// Map a worker's exit code back to an outcome (signal deaths and
 /// unknown codes are handled by the supervisor, not here).

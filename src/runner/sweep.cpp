@@ -161,6 +161,12 @@ void install_signal_handlers() {
   sa.sa_flags = 0;  // no SA_RESTART: poll/nanosleep must wake up
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  // SIGHUP (lost terminal, daemon manager poking a process group) used
+  // to fall through to the default disposition and kill the sweep with
+  // the checkpoint mid-flight; treat it exactly like SIGINT/SIGTERM --
+  // wind down cleanly. performad claims SIGHUP for config reload and
+  // installs its own handler *after* this one.
+  ::sigaction(SIGHUP, &sa, nullptr);
 }
 
 bool sweep_interrupted() noexcept {
@@ -253,7 +259,10 @@ SweepResult run_sweep(const std::string& name,
     const double prev_ema = metrics.latency_ema.value();
     metrics.latency_ema.set(prev_ema == 0.0 ? elapsed
                                             : 0.8 * prev_ema + 0.2 * elapsed);
-    if (checkpointing) append_point(options.checkpoint_path, record);
+    if (checkpointing) {
+      append_point(options.checkpoint_path, record,
+                   options.sync_checkpoint);
+    }
     if (options.verbose) {
       std::fprintf(stderr, "[sweep %s] %s: %s after %u attempt(s)\n",
                    name.c_str(), record.id.c_str(),

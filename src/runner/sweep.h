@@ -47,6 +47,11 @@ struct SweepOptions {
   /// them. Points previously recorded as degraded are retried (they get
   /// a fresh chance); ok points are trusted bit-exactly.
   bool resume = false;
+  /// fsync every checkpoint append (see append_point): survives
+  /// power-loss-style kills, costs a disk round-trip per point. Off by
+  /// default -- sweeps favour throughput; the daemon's journal, which
+  /// *is* the recovery story, defaults the equivalent flag on.
+  bool sync_checkpoint = false;
   /// Per-attempt wall-clock budget for one point; 0 = unlimited.
   /// Requires isolate (an in-process point cannot be preempted).
   double timeout_seconds = 0.0;
@@ -88,14 +93,15 @@ struct SweepResult {
 /// least 1), anything else passes through.
 unsigned resolve_jobs(unsigned jobs) noexcept;
 
-/// Install SIGINT/SIGTERM handlers that raise the sweep interrupt flag
-/// (idempotent). The sweep then winds down (no new dispatches, bounded
-/// drain) with the checkpoint fully flushed; a second signal falls back
-/// to the default disposition, so a stuck sweep can still be killed
-/// hard.
+/// Install SIGINT/SIGTERM/SIGHUP handlers that raise the sweep interrupt
+/// flag (idempotent). The sweep then winds down (no new dispatches,
+/// bounded drain) with the checkpoint fully flushed; a second signal
+/// falls back to the default disposition, so a stuck sweep can still be
+/// killed hard.
 void install_signal_handlers();
 
-/// True once SIGINT/SIGTERM was received (or raise_interrupt was called).
+/// True once SIGINT/SIGTERM/SIGHUP was received (or raise_interrupt was
+/// called).
 bool sweep_interrupted() noexcept;
 
 /// Raise / clear the interrupt flag programmatically (tests, embedders).

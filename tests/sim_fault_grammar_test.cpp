@@ -1,0 +1,94 @@
+// Table-driven negative tests for the fault-injection scenario grammar:
+// every malformed spec must be rejected with an InvalidArgument whose
+// message pinpoints the offending token AND its 1-based position in the
+// full spec -- the error contract that makes a typo deep inside a
+// combined scenario debuggable from the CLI.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "linalg/errors.h"
+#include "sim/fault_injection.h"
+
+namespace performa::sim {
+namespace {
+
+struct MalformedCase {
+  const char* name;     // test-output label
+  const char* spec;     // the malformed scenario
+  const char* token;    // token the error must quote (incl. quotes)
+  int position;         // 1-based column the error must report
+  const char* why;      // failure-kind phrase the message must contain
+};
+
+const MalformedCase kCases[] = {
+    {"unknown_clause", "bogus", "'bogus'", 1, "unknown clause"},
+    {"unknown_clause_after_valid", "common-mode-2@50+bogus", "'bogus'", 18,
+     "unknown clause"},
+    {"burst_size_not_number", "burst-x@120", "'x'", 7, "bad number"},
+    {"missing_size", "common-mode-@50", "'common-mode-@50'", 1,
+     "expected <size>@<time> in clause"},
+    {"missing_at_sign", "common-mode-2", "'common-mode-2'", 1,
+     "expected <size>@<time> in clause"},
+    {"refail_not_number", "refail-abc", "'abc'", 8, "bad number"},
+    {"fractional_crash_size", "common-mode-2.5@50", "'2.5'", 13,
+     "size must be a positive integer"},
+    {"zero_burst_size", "burst-0@10", "'0'", 7,
+     "size must be a positive integer"},
+    {"missing_time", "common-mode-2@", "'<empty>'", 15, "bad number"},
+    {"trailing_plus", "zero-repair+", "'<empty>'", 13, "unknown clause"},
+    {"double_at_sign", "burst-5@@9", "'@9'", 9, "bad number"},
+    {"bad_second_clause", "refail-0.5+refail-oops", "'oops'", 19,
+     "bad number"},
+    {"word_as_size", "common-mode-two@50", "'two'", 13, "bad number"},
+    {"truncated_exponent", "burst-3@1e", "'1e'", 9, "bad number"},
+};
+
+TEST(FaultGrammarTest, MalformedSpecsNameTokenAndPosition) {
+  for (const MalformedCase& c : kCases) {
+    SCOPED_TRACE(std::string(c.name) + ": spec '" + c.spec + "'");
+    try {
+      parse_scenario(c.spec);
+      FAIL() << "expected InvalidArgument for '" << c.spec << "'";
+    } catch (const InvalidArgument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find(c.token), std::string::npos)
+          << "message must quote the offending token " << c.token
+          << ", got: " << message;
+      const std::string at =
+          "at position " + std::to_string(c.position) + " ";
+      EXPECT_NE(message.find(at), std::string::npos)
+          << "message must report '" << at << "', got: " << message;
+      EXPECT_NE(message.find(c.why), std::string::npos)
+          << "message must contain '" << c.why << "', got: " << message;
+      // The full spec is echoed so the position is actionable.
+      EXPECT_NE(message.find(std::string("in '") + c.spec + "'"),
+                std::string::npos)
+          << "message must echo the spec, got: " << message;
+    }
+  }
+}
+
+TEST(FaultGrammarTest, ErrorsIncludeTheGrammarReference) {
+  try {
+    parse_scenario("not-a-clause");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // Every parse error appends the grammar so the fix is one read away.
+    EXPECT_NE(std::string(e.what()).find("common-mode-<k>@<t>"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultGrammarTest, ValidSpecStillParses) {
+  // Guard against the negative table passing because parsing broke
+  // entirely.
+  const FaultPlan plan =
+      parse_scenario("common-mode-2@50+burst-200@60+refail-0.3");
+  EXPECT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.repair_preemption, 0.3);
+}
+
+}  // namespace
+}  // namespace performa::sim
