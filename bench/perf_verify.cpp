@@ -1,0 +1,95 @@
+// Ablation: what does certifying an answer cost?
+//
+// The trust layer grades every solving QbdSolution with six a posteriori
+// checks (see src/qbd/trust.h). This harness measures that verification
+// against the full solve it is amortized over, at the sizes and loads the
+// paper's sweeps actually use. Expected outcome: the warm-path overhead
+// (certified solve vs trust-disabled solve) stays under ~5% -- the checks
+// are O(m^2)-O(m^3) with tiny constants while the solve is iterated
+// O(m^3) -- and the verify-only cost shows the a posteriori re-check a
+// rehydrated cache hit pays.
+#include <benchmark/benchmark.h>
+
+#include "map/lumped_aggregate.h"
+#include "medist/tpt.h"
+#include "qbd/solution.h"
+#include "qbd/trust.h"
+
+using namespace performa;
+
+namespace {
+
+map::Mmpp ClusterMmpp(unsigned t_phases) {
+  const map::ServerModel server(medist::exponential_from_mean(90.0),
+                                medist::make_tpt(
+                                    medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                                2.0, 0.2);
+  return map::LumpedAggregate(server, 2).mmpp();
+}
+
+// Full solve with the default policy: verification included, the number
+// the other two benchmarks are compared against.
+void BM_CertifiedSolve(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  for (auto _ : state) {
+    qbd::QbdSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.trust().verdict);
+  }
+  state.SetLabel("phases=" + std::to_string(blocks.phase_dim()));
+}
+
+// The same solve with trust disabled: the baseline that isolates the
+// verification overhead on the warm (certified-first-try) path.
+void BM_UnverifiedSolve(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  qbd::SolverOptions opts;
+  opts.trust.enabled = false;
+  for (auto _ : state) {
+    qbd::QbdSolution sol(blocks, opts);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+}
+
+// Verification alone on an already-solved answer: the incremental cost of
+// re-certifying a rehydrated solution against its generator blocks.
+void BM_VerifyOnly(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const double rho = static_cast<double>(state.range(1)) / 100.0;
+  const auto mmpp = ClusterMmpp(t);
+  const auto blocks = qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate());
+  qbd::QbdSolution sol(blocks);
+  for (auto _ : state) {
+    const qbd::TrustReport& trust = sol.verify(blocks);
+    benchmark::DoNotOptimize(trust.verdict);
+  }
+}
+
+}  // namespace
+
+// (T, rho%): small exponential-repair model at moderate load through the
+// heavy-tail TPT model at blow-up load.
+BENCHMARK(BM_CertifiedSolve)
+    ->Args({1, 50})
+    ->Args({10, 50})
+    ->Args({10, 90})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_UnverifiedSolve)
+    ->Args({1, 50})
+    ->Args({10, 50})
+    ->Args({10, 90})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_VerifyOnly)
+    ->Args({1, 50})
+    ->Args({10, 50})
+    ->Args({10, 90})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

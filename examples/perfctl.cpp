@@ -49,6 +49,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qbd/solve_report.h"
+#include "qbd/trust.h"
 #include "runner/golden.h"
 #include "runner/sweep.h"
 #include "sim/cluster_sim.h"
@@ -134,8 +135,10 @@ int CmdSolve(int argc, char** argv, const Flags& flags) {
   }
   std::printf("min d, eps=1e-4   %.2f time units\n",
               core::min_deadline_for(sol, 1e-4, nu_bar));
+  std::printf("trust             %s\n", sol.trust().summary().c_str());
   if (flags.report) {
     std::printf("--- solve report ---\n%s", sol.report().to_string().c_str());
+    std::printf("--- trust report ---\n%s", sol.trust().to_string().c_str());
   }
   return 0;
 }
@@ -163,6 +166,10 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
           sol.mean_queue_length() / core::mm1::mean_queue_length(rho));
       out.metrics.emplace_back("p_empty", sol.probability_empty());
       out.metrics.emplace_back("tail500", sol.tail(500));
+      // Verdict travels as its ordinal (checkpoint metrics are doubles);
+      // the CSV printer maps it back to a word.
+      out.metrics.emplace_back(
+          "trust", static_cast<double>(sol.trust().verdict));
       if (flags.sim_cycles > 0) {
         sim::ClusterSimConfig cfg;
         cfg.n_servers = p.n_servers;
@@ -195,7 +202,7 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
   runner::install_signal_handlers();
   const auto sweep = runner::run_sweep("perfctl-sweep", points, opts);
 
-  std::printf("rho,mean_ql,normalized,p_empty,tail500%s\n",
+  std::printf("rho,mean_ql,normalized,p_empty,tail500,trust%s\n",
               flags.sim_cycles > 0 ? ",sim_mean_ql" : "");
   for (const auto& pt : sweep.points) {
     // Degraded points print as NaN placeholder rows; metric() returns
@@ -203,6 +210,12 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
     std::printf("%s,%.4f,%.4f,%.4f,%.4e", pt.id.c_str() + 4,
                 pt.metric("mean_ql"), pt.metric("normalized"),
                 pt.metric("p_empty"), pt.metric("tail500"));
+    const double trust = pt.metric("trust");
+    std::printf(",%s",
+                std::isnan(trust)
+                    ? "n/a"
+                    : qbd::to_string(static_cast<qbd::TrustVerdict>(
+                          static_cast<int>(trust))));
     if (flags.sim_cycles > 0) std::printf(",%.4f", pt.metric("sim_mean_ql"));
     std::printf("\n");
     if (pt.outcome != runner::Outcome::kOk) {
@@ -428,6 +441,12 @@ int main(int argc, char** argv) {
   } catch (const qbd::SolverFailure& e) {
     std::fprintf(stderr, "perfctl: solver failed\n%s\n", e.what());
     return FinishObservability(2);
+  } catch (const qbd::TrustRejected& e) {
+    // The answer exists but is wrong in digits a caller would read;
+    // refusing it beats printing it.
+    std::fprintf(stderr, "perfctl: answer rejected by verification\n%s\n",
+                 e.trust().to_string().c_str());
+    return FinishObservability(4);
   } catch (const qbd::UnstableModel& e) {
     std::fprintf(stderr, "perfctl: %s\n", e.what());
     return FinishObservability(2);

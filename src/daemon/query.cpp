@@ -278,6 +278,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     w.field("solves", es.solves);
     w.field("solve_failures", es.solve_failures);
     w.field("deadline_exceeded", es.deadline_exceeded);
+    w.field("rejected", es.rejected);
     return std::move(w).str();
   }
 
@@ -385,6 +386,13 @@ std::string QueryEngine::handle(const JsonObject& request) {
       degrade_message = e.what();
     } catch (const InvalidArgument& e) {
       return error_response(id, op, "invalid-argument", e.what());
+    } catch (const qbd::TrustRejected& e) {
+      // The answer exists but failed verification: it was never cached
+      // or journaled (solve_and_store throws before either), and the
+      // wire carries the explicit outcome. The compact trust summary
+      // travels instead of the multi-line evidence.
+      degrade_outcome = "rejected-answer";
+      degrade_message = e.trust().summary();
     } catch (const NumericalError& e) {
       degrade_outcome = "solver-failure";
       degrade_message = e.what();
@@ -394,6 +402,8 @@ std::string QueryEngine::handle(const JsonObject& request) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         if (degrade_outcome == "deadline-exceeded") {
           ++stats_.deadline_exceeded;
+        } else if (degrade_outcome == "rejected-answer") {
+          ++stats_.rejected;
         } else {
           ++stats_.solve_failures;
         }
@@ -430,6 +440,15 @@ std::string QueryEngine::handle(const JsonObject& request) {
     w.field("availability", entry.availability);
     w.field("lambda", entry.lambda);
     w.field("phase_dim", static_cast<std::uint64_t>(sol.phase_dim()));
+    // Every served answer carries its trust verdict; anything short of
+    // certified also carries the worst-check evidence so a caller can
+    // decide whether the answer is good enough for its purpose.
+    const qbd::TrustReport& trust = sol.trust();
+    w.field("trust", trust.verified ? qbd::to_string(trust.verdict)
+                                    : "unverified");
+    if (!trust.verified || trust.verdict != qbd::TrustVerdict::kCertified) {
+      w.field("trust_detail", trust.summary());
+    }
 
     if (op == "solve") {
       w.field("mean_queue_length", sol.mean_queue_length());
@@ -490,7 +509,9 @@ CachedSolution QueryEngine::solve_and_store(const ModelSpec& spec,
   const double t0 = now_seconds();
   const core::ClusterModel model(cluster_params(spec));
   const double lambda = model.lambda_for_rho(spec.rho);
-  qbd::QbdSolution solution = model.solve(lambda);
+  qbd::SolverOptions opts;
+  opts.trust = config_.trust;
+  qbd::QbdSolution solution = model.solve(lambda, opts);
   solve_latency().record(now_seconds() - t0);
 
   CachedSolution entry;

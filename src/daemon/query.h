@@ -22,6 +22,7 @@
 #include "daemon/cache.h"
 #include "daemon/journal.h"
 #include "daemon/jsonio.h"
+#include "qbd/trust.h"
 
 namespace performa::daemon {
 
@@ -64,6 +65,10 @@ struct EngineConfig {
   std::string journal_path;  ///< empty disables persistence
   bool sync_journal = true;  ///< fsync per journal append (crash-only default)
   bool debug_ops = false;    ///< enable the "debug-sleep" test op
+  /// Verification thresholds applied to every solve. A solve whose
+  /// answer is rejected is answered with outcome "rejected-answer" and
+  /// is never cached or journaled (the throw happens before either).
+  qbd::TrustPolicy trust;
 };
 
 /// Statistics the server's "stats" op reports alongside cache counters.
@@ -71,6 +76,7 @@ struct EngineStats {
   std::uint64_t solves = 0;
   std::uint64_t solve_failures = 0;
   std::uint64_t deadline_exceeded = 0;
+  std::uint64_t rejected = 0;  ///< answers refused by verification
 };
 
 class QueryEngine {

@@ -1,0 +1,72 @@
+// Neumaier compensated summation.
+//
+// The trust layer's probability-mass checks subtract quantities that agree
+// to ~15 digits; a naive left-to-right sum loses exactly the digits the
+// check is trying to measure. Neumaier's variant of Kahan summation keeps
+// a running compensation term that also survives the case |x| > |sum|
+// (which plain Kahan drops), making the accumulated error independent of
+// the number of terms: the result is the correctly rounded sum plus O(eps)
+// instead of O(n eps).
+//
+// The class is templated so verification floors can be evaluated in long
+// double (one extra order of headroom on x86-64) while the simulator's
+// streaming accumulators stay in double.
+#pragma once
+
+#include <cstddef>
+
+namespace performa::linalg {
+
+template <typename T = double>
+class CompensatedSum {
+ public:
+  CompensatedSum() = default;
+  explicit CompensatedSum(T initial) : sum_(initial) {}
+
+  void add(T x) noexcept {
+    const T t = sum_ + x;
+    if ((sum_ < 0 ? -sum_ : sum_) >= (x < 0 ? -x : x)) {
+      comp_ += (sum_ - t) + x;  // low-order digits of x were lost
+    } else {
+      comp_ += (x - t) + sum_;  // low-order digits of sum_ were lost
+    }
+    sum_ = t;
+  }
+
+  CompensatedSum& operator+=(T x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  /// The compensated total. Cheap enough to call per-read; the
+  /// compensation term is folded in at the end (Neumaier), not per-add
+  /// (Kahan), which is what preserves terms larger than the running sum.
+  T value() const noexcept { return sum_ + comp_; }
+
+  void reset(T initial = T{}) noexcept {
+    sum_ = initial;
+    comp_ = T{};
+  }
+
+ private:
+  T sum_{};
+  T comp_{};
+};
+
+/// Compensated sum of a range of doubles.
+inline double sum_compensated(const double* x, std::size_t n) noexcept {
+  CompensatedSum<double> acc;
+  for (std::size_t i = 0; i < n; ++i) acc.add(x[i]);
+  return acc.value();
+}
+
+/// Compensated inner product: each product is formed in double (one
+/// rounding) and accumulated without further error growth.
+inline double dot_compensated(const double* a, const double* b,
+                              std::size_t n) noexcept {
+  CompensatedSum<double> acc;
+  for (std::size_t i = 0; i < n; ++i) acc.add(a[i] * b[i]);
+  return acc.value();
+}
+
+}  // namespace performa::linalg

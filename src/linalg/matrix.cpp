@@ -4,6 +4,8 @@
 #include <ostream>
 #include <string>
 
+#include "linalg/compensated.h"
+
 namespace performa::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -152,15 +154,14 @@ Vector operator*(const Vector& v, const Matrix& m) {
 
 double dot(const Vector& a, const Vector& b) {
   PERFORMA_EXPECTS(a.size() == b.size(), "dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  // Compensated (Neumaier) accumulation: dot products against tail-closure
+  // vectors mix magnitudes across many orders near blow-up points, where a
+  // naive sum loses exactly the digits the trust checks measure.
+  return dot_compensated(a.data(), b.data(), a.size());
 }
 
 double sum(const Vector& v) noexcept {
-  double acc = 0.0;
-  for (double x : v) acc += x;
-  return acc;
+  return sum_compensated(v.data(), v.size());
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {

@@ -16,7 +16,7 @@ namespace performa::qbd {
 namespace {
 
 double residual_norm(const QbdBlocks& b, const Matrix& r) {
-  return linalg::norm_inf(b.a0 + r * b.a1 + r * r * b.a2);
+  return r_residual_norm(b, r);
 }
 
 // One fallback-chain attempt: the candidate R (meaningful only when the
@@ -333,6 +333,21 @@ Candidate run_tier(SolveAlgorithm tier, const QbdBlocks& b,
 
 }  // namespace
 
+// Scale that makes the R-residual dimensionless: a backward-stable
+// iterate satisfies ||A0 + R A1 + R^2 A2|| <~ eps * sum_i ||Ai||, so
+// dividing by the block norms gives a defect comparable across rate
+// magnitudes (a model with rates in 1e6/s must not look 6 orders worse
+// than the same model in 1/s).
+double residual_scale(const QbdBlocks& b) noexcept {
+  const double s =
+      linalg::norm_inf(b.a0) + linalg::norm_inf(b.a1) + linalg::norm_inf(b.a2);
+  return s > 0.0 ? s : 1.0;
+}
+
+double r_residual_norm(const QbdBlocks& b, const Matrix& r) {
+  return linalg::norm_inf(b.a0 + r * b.a1 + r * r * b.a2) / residual_scale(b);
+}
+
 GSolveResult solve_g_logred(const QbdBlocks& b, const SolverOptions& opts) {
   GSolveResult g = logred_impl(b, opts.tolerance, opts.max_iterations);
   if (g.deadline_expired) {
@@ -425,6 +440,7 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
     report.winner = c.attempt.algorithm;
     report.iterations = c.attempt.iterations;
     report.final_defect = c.attempt.defect;
+    report.final_defect_raw = c.attempt.defect * residual_scale(blocks);
     report.condition = c.condition;
     report.spectral_radius = spectral_radius(c.r, 1e-10, 5000);
 

@@ -20,6 +20,7 @@
 
 #include "qbd/qbd.h"
 #include "qbd/solve_report.h"
+#include "qbd/trust.h"
 
 namespace performa::qbd {
 
@@ -39,13 +40,19 @@ struct SolverOptions {
   /// tiers instead of throwing immediately. Disable to reproduce the
   /// single-algorithm behaviour (ablation benches).
   bool enable_fallbacks = true;
+  /// A posteriori verification thresholds and self-healing switches,
+  /// applied by QbdSolution's solving constructor (see qbd/trust.h).
+  /// solve_r itself only computes the scaled residual the checks grade.
+  TrustPolicy trust;
 };
 
 /// Result of an R computation with convergence diagnostics.
 struct RSolveResult {
   Matrix r;                ///< the minimal non-negative solution R
   unsigned iterations = 0; ///< iterations used by the winning attempt
-  double residual = 0.0;   ///< ||A0 + R A1 + R^2 A2||_inf at return
+  /// Scaled residual ||A0 + R A1 + R^2 A2||_inf / sum_i ||Ai||_inf at
+  /// return (the raw norm is report.final_defect_raw).
+  double residual = 0.0;
   SolveReport report;      ///< full guardrail diagnostics
 };
 
@@ -72,6 +79,15 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts = {});
 /// when the iteration fails to converge.
 GSolveResult solve_g_logred(const QbdBlocks& blocks,
                             const SolverOptions& opts = {});
+
+/// Block scale sum_i ||Ai||_inf used to normalize R-residuals (1 for an
+/// all-zero QBD, so the scaled residual is always well defined).
+double residual_scale(const QbdBlocks& blocks) noexcept;
+
+/// Scaled residual ||A0 + R A1 + R^2 A2||_inf / residual_scale(blocks):
+/// the dimensionless defect reported in SolveReport::final_defect and
+/// graded by the trust thresholds.
+double r_residual_norm(const QbdBlocks& blocks, const Matrix& r);
 
 /// Spectral radius estimate of a non-negative matrix via power iteration;
 /// for R this is the caudal characteristic (geometric decay rate) of the

@@ -1,6 +1,18 @@
 // Stationary solution of a level-independent QBD and the queue-length
 // metrics the paper reports: mean queue length, pmf, tail probabilities,
 // and the geometric decay rate.
+//
+// Every solving construction is verified a posteriori (qbd/trust.h): the
+// released solution carries a TrustReport, and a suspect first verdict
+// triggers the self-healing escalation ladder
+//
+//   1. one iterative-refinement pass (Newton step on R from the current
+//      iterate + fresh boundary solve),
+//   2. a tighter-tolerance re-solve,
+//   3. a re-solve on an alternate solver tier,
+//
+// keeping the best state seen; a final rejected verdict throws
+// TrustRejected instead of releasing wrong numbers.
 #pragma once
 
 #include "qbd/rsolver.h"
@@ -11,8 +23,10 @@ namespace performa::qbd {
 ///   pi_0 (boundary), pi_k = pi_1 R^{k-1} for k >= 1.
 class QbdSolution {
  public:
-  /// Solves R and the boundary system. Throws NumericalError if the queue
-  /// is unstable or the solvers fail to converge.
+  /// Solves R and the boundary system, then verifies and (if needed)
+  /// self-heals per opts.trust. Throws NumericalError if the queue is
+  /// unstable or the solvers fail to converge, and TrustRejected if the
+  /// healed answer still fails a rejection threshold.
   explicit QbdSolution(const QbdBlocks& blocks, const SolverOptions& opts = {});
 
   /// Rebuild a solution from previously computed parts -- the daemon's
@@ -20,13 +34,18 @@ class QbdSolution {
   /// earlier successful solve of the same model; (I-R)^{-1} is
   /// recomputed, shapes and the matrix-geometric normalization are
   /// re-validated (a corrupted or mismatched triple throws instead of
-  /// silently serving wrong probabilities).
+  /// silently serving wrong probabilities). The blocks are not available
+  /// here, so the attached TrustReport carries the reduced check set
+  /// (finiteness, sp(R), mass conservation).
   QbdSolution(Matrix r, Vector pi0, Vector pi1, SolveReport report = {});
 
   const Matrix& r() const noexcept { return r_; }
   const Vector& pi0() const noexcept { return pi0_; }
   const Vector& pi1() const noexcept { return pi1_; }
   std::size_t phase_dim() const noexcept { return pi0_.size(); }
+
+  /// Tail closure (I-R)^{-1}, reused by every metric.
+  const Matrix& tail_closure() const noexcept { return i_minus_r_inv_; }
 
   /// Pr(Q = 0) -- the probability of an empty system.
   double probability_empty() const;
@@ -69,7 +88,33 @@ class QbdSolution {
   /// spectral-radius and condition estimates, drift utilization.
   const SolveReport& report() const noexcept { return report_; }
 
+  /// The a posteriori trust verdict and its per-check evidence.
+  const TrustReport& trust() const noexcept { return trust_; }
+
+  /// Recompute the full trust report against `blocks` from scratch
+  /// (every check re-derived from the stored R/pi0/pi1, nothing reused
+  /// from the solve). Stores and returns the report; grades only, never
+  /// escalates or throws.
+  const TrustReport& verify(const QbdBlocks& blocks,
+                            const TrustPolicy& policy = {});
+
+  /// One self-healing pass: a one-sided Newton step on R from the current
+  /// iterate plus a fresh boundary solve (with one step of iterative
+  /// refinement). Leaves the trust report untouched -- callers re-verify.
+  void refine(const QbdBlocks& blocks);
+
  private:
+  /// (I-R)^{-1} + boundary solve + range clips, from the current r_.
+  void assemble(const QbdBlocks& blocks);
+  /// Grade the current state, reusing `r_resid` as the (already scaled)
+  /// R-residual instead of recomputing it.
+  void run_checks(const QbdBlocks& blocks, const TrustPolicy& policy,
+                  double r_resid);
+  /// verify + escalation ladder; throws TrustRejected on a final reject.
+  void certify(const QbdBlocks& blocks, const SolverOptions& opts);
+  /// The reduced check set for the blocks-free rehydration path.
+  void verify_rehydrated();
+
   Matrix r_;
   Matrix i_minus_r_inv_;  // (I - R)^{-1}, reused by every metric
   Vector pi0_;
@@ -77,6 +122,7 @@ class QbdSolution {
   unsigned r_iterations_ = 0;
   double r_residual_ = 0.0;
   SolveReport report_;
+  TrustReport trust_;
 };
 
 /// One-line helper for the common case: mean queue length of an

@@ -27,8 +27,9 @@ std::string SolveReport::to_string() const {
                 qbd::to_string(winner), iterations);
   out += line;
   std::snprintf(line, sizeof line,
-                "  defect=%.3e  sp(R)=%.6f  cond~%.3e  rho=%.6f\n",
-                final_defect, spectral_radius, condition, utilization);
+                "  defect=%.3e (raw %.3e)  sp(R)=%.6f  cond~%.3e  rho=%.6f\n",
+                final_defect, final_defect_raw, spectral_radius, condition,
+                utilization);
   out += line;
   for (const SolveAttempt& a : attempts) {
     std::snprintf(line, sizeof line,

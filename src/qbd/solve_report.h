@@ -26,7 +26,7 @@ const char* to_string(SolveAlgorithm a) noexcept;
 struct SolveAttempt {
   SolveAlgorithm algorithm = SolveAlgorithm::kSuccessiveSubstitution;
   unsigned iterations = 0;  ///< iterations consumed by this attempt
-  double defect = 0.0;      ///< best defect/residual the attempt reached
+  double defect = 0.0;      ///< best *scaled* defect/residual reached
   double seconds = 0.0;     ///< wall-clock time (span-backed, obs layer)
   bool converged = false;
   std::string note;         ///< failure reason when !converged
@@ -41,7 +41,13 @@ struct SolveReport {
   bool deadline_exceeded = false;
   SolveAlgorithm winner = SolveAlgorithm::kLogarithmicReduction;
   unsigned iterations = 0;       ///< iterations of the winning attempt
-  double final_defect = 0.0;     ///< ||A0 + R A1 + R^2 A2||_inf at return
+  /// Scaled residual ||A0 + R A1 + R^2 A2||_inf / (||A0|| + ||A1|| +
+  /// ||A2||) at return -- dimensionless, comparable across rate
+  /// magnitudes, and the quantity the trust thresholds grade.
+  double final_defect = 0.0;
+  /// The raw (unscaled) residual norm, kept for diagnostics: defect *
+  /// block scale, in the model's rate units.
+  double final_defect_raw = 0.0;
   double spectral_radius = 0.0;  ///< sp(R) estimate (caudal characteristic)
   double condition = 0.0;        ///< kappa_1 estimate of the final linear solve
   double utilization = 0.0;      ///< mean-drift rho from the pre-check

@@ -1,0 +1,99 @@
+#include "qbd/trust.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace performa::qbd {
+
+const char* to_string(TrustVerdict v) noexcept {
+  switch (v) {
+    case TrustVerdict::kCertified:
+      return "certified";
+    case TrustVerdict::kSuspect:
+      return "suspect";
+    case TrustVerdict::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+TrustVerdict TrustCheck::verdict() const noexcept {
+  if (!std::isfinite(measured)) return TrustVerdict::kRejected;
+  if (measured > rejected_above) return TrustVerdict::kRejected;
+  if (measured < certified_below) return TrustVerdict::kCertified;
+  return TrustVerdict::kSuspect;
+}
+
+double TrustCheck::severity() const noexcept {
+  if (!std::isfinite(measured)) return std::numeric_limits<double>::infinity();
+  if (certified_below <= 0.0) return std::numeric_limits<double>::infinity();
+  return measured / certified_below;
+}
+
+const TrustCheck* TrustReport::worst() const noexcept {
+  const TrustCheck* out = nullptr;
+  for (const TrustCheck& c : checks) {
+    if (out == nullptr || c.severity() > out->severity()) out = &c;
+  }
+  return out;
+}
+
+double TrustReport::severity() const noexcept {
+  const TrustCheck* w = worst();
+  return w == nullptr ? 0.0 : w->severity();
+}
+
+void TrustReport::grade() noexcept {
+  verified = true;
+  verdict = TrustVerdict::kCertified;
+  for (const TrustCheck& c : checks) {
+    const TrustVerdict v = c.verdict();
+    if (static_cast<int>(v) > static_cast<int>(verdict)) verdict = v;
+  }
+}
+
+std::string TrustReport::to_string() const {
+  if (!verified) return "TrustReport: unverified\n";
+  char line[224];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "TrustReport: %s (refinements=%u re-solves=%u%s%s)\n",
+                qbd::to_string(verdict), refinements, resolves,
+                healing.empty() ? "" : ", ", healing.c_str());
+  out += line;
+  for (const TrustCheck& c : checks) {
+    std::snprintf(line, sizeof line,
+                  "  check %-18s %-9s measured=%.3e certified<%.1e "
+                  "rejected>%.1e%s",
+                  c.name.c_str(), qbd::to_string(c.verdict()), c.measured,
+                  c.certified_below, c.rejected_above,
+                  c.detail.empty() ? "" : ": ");
+    out += line;
+    out += c.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TrustReport::summary() const {
+  if (!verified) return "unverified";
+  std::string out = qbd::to_string(verdict);
+  if (const TrustCheck* w = worst()) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  " (worst %s=%.3e, certified<%.1e; %u refinement(s), %u "
+                  "re-solve(s))",
+                  w->name.c_str(), w->measured, w->certified_below,
+                  refinements, resolves);
+    out += line;
+  }
+  if (!healing.empty()) {
+    out += " [";
+    out += healing;
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace performa::qbd

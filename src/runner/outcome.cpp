@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "qbd/solve_report.h"
+#include "qbd/trust.h"
 
 namespace performa::runner {
 
@@ -20,6 +21,8 @@ const char* to_string(Outcome o) noexcept {
       return "unstable-model";
     case Outcome::kDeadlineExceeded:
       return "deadline-exceeded";
+    case Outcome::kRejectedAnswer:
+      return "rejected-answer";
   }
   return "?";
 }
@@ -27,7 +30,7 @@ const char* to_string(Outcome o) noexcept {
 bool outcome_from_string(std::string_view text, Outcome& out) noexcept {
   for (Outcome o : {Outcome::kOk, Outcome::kTimeout, Outcome::kCrash,
                     Outcome::kSolverFailure, Outcome::kUnstableModel,
-                    Outcome::kDeadlineExceeded}) {
+                    Outcome::kDeadlineExceeded, Outcome::kRejectedAnswer}) {
     if (text == to_string(o)) {
       out = o;
       return true;
@@ -53,6 +56,8 @@ Outcome outcome_from_exit_code(int code) noexcept {
       return Outcome::kUnstableModel;
     case kExitDeadlineExceeded:
       return Outcome::kDeadlineExceeded;
+    case kExitRejectedAnswer:
+      return Outcome::kRejectedAnswer;
     default:
       return Outcome::kCrash;
   }
@@ -80,6 +85,10 @@ ClassifiedError classify_current_exception() noexcept {
     // The full report is multi-line; the compact summary travels better
     // through checkpoint records and progress lines.
     e.message = ex.report().summary();
+  } catch (const qbd::TrustRejected& ex) {
+    e.exit_code = kExitRejectedAnswer;
+    e.outcome = Outcome::kRejectedAnswer;
+    e.message = ex.trust().summary();
   } catch (const std::exception& ex) {
     e.exit_code = kExitError;
     e.outcome = Outcome::kCrash;

@@ -22,6 +22,10 @@ enum class Outcome {
   /// The point aborted cooperatively on its obs::Deadline (no SIGKILL
   /// needed). Transient like kTimeout: a retry gets a fresh budget.
   kDeadlineExceeded,
+  /// qbd::TrustRejected -- the answer failed a posteriori verification
+  /// even after the self-healing ladder. Deterministic like a solver
+  /// failure: the same model re-verifies to the same verdict.
+  kRejectedAnswer,
 };
 
 const char* to_string(Outcome o) noexcept;
@@ -40,6 +44,7 @@ inline constexpr int kExitSolverFailure = 40;
 inline constexpr int kExitUnstableModel = 41;
 inline constexpr int kExitError = 42;  ///< other exception -> kCrash
 inline constexpr int kExitDeadlineExceeded = 43;  ///< cooperative abort
+inline constexpr int kExitRejectedAnswer = 44;    ///< failed verification
 
 /// Map a worker's exit code back to an outcome (signal deaths and
 /// unknown codes are handled by the supervisor, not here).

@@ -18,14 +18,14 @@ void SampleStats::add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
+  const double delta = x - mean_.value();
+  mean_.add(delta / static_cast<double>(count_));
+  m2_.add(delta * (x - mean_.value()));
 }
 
 double SampleStats::variance() const noexcept {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  return m2_.value() / static_cast<double>(count_ - 1);
 }
 
 double SampleStats::stddev() const noexcept { return std::sqrt(variance()); }
@@ -40,35 +40,35 @@ void TimeWeightedStats::add(std::size_t level, double duration) {
   PERFORMA_EXPECTS(duration >= 0.0, "TimeWeightedStats: negative duration");
   if (duration == 0.0) return;
   histogram_[std::min(level, histogram_.size() - 1)] += duration;
-  weighted_sum_ += static_cast<double>(level) * duration;
-  total_time_ += duration;
+  weighted_sum_.add(static_cast<double>(level) * duration);
+  total_time_.add(duration);
 }
 
 void TimeWeightedStats::reset() noexcept {
   std::fill(histogram_.begin(), histogram_.end(), 0.0);
-  weighted_sum_ = 0.0;
-  total_time_ = 0.0;
+  weighted_sum_.reset();
+  total_time_.reset();
 }
 
 double TimeWeightedStats::mean() const {
-  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
-  return weighted_sum_ / total_time_;
+  PERFORMA_EXPECTS(total_time() > 0.0, "TimeWeightedStats: no time recorded");
+  return weighted_sum_.value() / total_time();
 }
 
 double TimeWeightedStats::pmf(std::size_t level) const {
-  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
+  PERFORMA_EXPECTS(total_time() > 0.0, "TimeWeightedStats: no time recorded");
   if (level >= histogram_.size()) return 0.0;
-  return histogram_[level] / total_time_;
+  return histogram_[level] / total_time();
 }
 
 double TimeWeightedStats::tail(std::size_t level) const {
-  PERFORMA_EXPECTS(total_time_ > 0.0, "TimeWeightedStats: no time recorded");
-  double above = 0.0;
-  for (std::size_t k = std::min(level, histogram_.size() - 1);
-       k < histogram_.size(); ++k) {
-    above += histogram_[k];
-  }
-  return above / total_time_;
+  PERFORMA_EXPECTS(total_time() > 0.0, "TimeWeightedStats: no time recorded");
+  // The tail sums many near-equal bucket durations; compensation keeps
+  // the bin count out of the error term.
+  const std::size_t from = std::min(level, histogram_.size() - 1);
+  return linalg::sum_compensated(histogram_.data() + from,
+                                 histogram_.size() - from) /
+         total_time();
 }
 
 double t_quantile_95(std::size_t dof) noexcept {
@@ -152,19 +152,19 @@ void BatchMeans::add(double level, double duration) {
   }
   PERFORMA_EXPECTS(duration >= 0.0, "BatchMeans: negative duration");
   while (duration > 0.0) {
-    const double room = batch_duration_ - current_time_;
+    const double room = batch_duration_ - current_time_.value();
     const double take = std::min(room, duration);
-    current_sum_ += level * take;
-    current_time_ += take;
+    current_sum_.add(level * take);
+    current_time_.add(take);
     duration -= take;
-    if (current_time_ >= batch_duration_) close_batch();
+    if (current_time_.value() >= batch_duration_) close_batch();
   }
 }
 
 void BatchMeans::close_batch() {
-  means_.push_back(current_sum_ / current_time_);
-  current_sum_ = 0.0;
-  current_time_ = 0.0;
+  means_.push_back(current_sum_.value() / current_time_.value());
+  current_sum_.reset();
+  current_time_.reset();
   if (means_.size() >= 2 * n_batches_) {
     // Merge adjacent pairs (equal durations, so plain averages) and
     // double the batch length: keeps memory O(n_batches) while the run

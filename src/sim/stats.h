@@ -6,9 +6,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/compensated.h"
+
 namespace performa::sim {
 
-/// Streaming mean/variance via Welford's algorithm.
+/// Streaming mean/variance via Welford's algorithm, with Neumaier
+/// compensation on the mean and M2 accumulators: long runs feed billions
+/// of small increments into a large running value, exactly the regime
+/// where naive += loses the increment's low bits.
 ///
 /// All accumulators in this header reject non-finite samples with a typed
 /// NonFiniteError: a single NaN fed into a streaming mean silently poisons
@@ -19,7 +24,7 @@ class SampleStats {
   void add(double x);
 
   std::size_t count() const noexcept { return count_; }
-  double mean() const noexcept { return mean_; }
+  double mean() const noexcept { return mean_.value(); }
   /// Unbiased sample variance (0 for fewer than 2 samples).
   double variance() const noexcept;
   double stddev() const noexcept;
@@ -28,8 +33,8 @@ class SampleStats {
 
  private:
   std::size_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
+  linalg::CompensatedSum<double> mean_;
+  linalg::CompensatedSum<double> m2_;
   double min_ = 0.0;
   double max_ = 0.0;
 };
@@ -47,7 +52,7 @@ class TimeWeightedStats {
   /// Drop everything collected so far (end of warm-up).
   void reset() noexcept;
 
-  double total_time() const noexcept { return total_time_; }
+  double total_time() const noexcept { return total_time_.value(); }
   /// Time-average level (the simulated E[Q]).
   double mean() const;
   /// Time fraction at exactly `level` (levels above the cap pool at cap).
@@ -59,8 +64,8 @@ class TimeWeightedStats {
 
  private:
   std::vector<double> histogram_;  // time at level k; last bucket pools >cap
-  double weighted_sum_ = 0.0;      // integral of level dt (exact levels)
-  double total_time_ = 0.0;
+  linalg::CompensatedSum<double> weighted_sum_;  // integral of level dt
+  linalg::CompensatedSum<double> total_time_;
 };
 
 /// Aggregates per-replication point estimates into a mean and a 95%
@@ -143,8 +148,8 @@ class BatchMeans {
 
   std::size_t n_batches_;
   double batch_duration_ = 1.0;
-  double current_sum_ = 0.0;   // integral of level over the open batch
-  double current_time_ = 0.0;  // time in the open batch
+  linalg::CompensatedSum<double> current_sum_;   // integral over open batch
+  linalg::CompensatedSum<double> current_time_;  // time in the open batch
   std::vector<double> means_;
 };
 

@@ -257,5 +257,59 @@ TEST(EngineRehydrationTest, RestartsWarmFromTheJournal) {
   }
 }
 
+TEST(EngineTrustTest, ServedAnswersCarryTrustVerdict) {
+  EngineConfig config;  // default policy: healthy solves certify
+  QueryEngine engine(config);
+  const std::string response =
+      engine.handle_line(R"({"op":"mean","rho":0.6})");
+  EXPECT_NE(response.find("\"trust\":\"certified\""), std::string::npos)
+      << response;
+  EXPECT_EQ(engine.stats().rejected, 0u);
+}
+
+TEST(EngineTrustTest, RejectedAnswerIsExplicitAndNeverCachedOrJournaled) {
+  TempDir tmp;
+  EngineConfig config;
+  config.journal_path = tmp.path("trust.journal");
+  config.sync_journal = false;
+  // Impossible certified band with a rejection threshold below any
+  // achievable residual: every solve is rejected after the ladder.
+  config.trust.r_residual_certified = 1e-32;
+  config.trust.r_residual_rejected = 1e-30;
+  {
+    QueryEngine engine(config);
+    engine.rehydrate();
+    const std::string response =
+        engine.handle_line(R"({"op":"mean","rho":0.6,"id":"q1"})");
+    // No stale fallback exists, so the refusal is an error response with
+    // the explicit outcome and the trust evidence.
+    EXPECT_NE(response.find("\"outcome\":\"rejected-answer\""),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("r-residual"), std::string::npos) << response;
+    EXPECT_EQ(engine.stats().rejected, 1u);
+    EXPECT_EQ(engine.stats().solve_failures, 0u);
+    // The wrong answer must not have entered the cache...
+    EXPECT_EQ(engine.cache().stats().entries, 0u);
+  }
+  // ...nor the journal: a fresh engine rehydrates to nothing.
+  {
+    QueryEngine engine(config);
+    const JournalLoad load = engine.rehydrate();
+    EXPECT_EQ(load.entries.size(), 0u);
+    EXPECT_EQ(load.dropped_records, 0u);
+  }
+}
+
+TEST(EngineTrustTest, StatsOpReportsRejections) {
+  EngineConfig config;
+  config.trust.r_residual_certified = 1e-32;
+  config.trust.r_residual_rejected = 1e-30;
+  QueryEngine engine(config);
+  engine.handle_line(R"({"op":"mean","rho":0.5})");
+  const std::string stats = engine.handle_line(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"rejected\":1"), std::string::npos) << stats;
+}
+
 }  // namespace
 }  // namespace performa::daemon

@@ -64,6 +64,40 @@ TEST(JsonIoTest, NumbersRoundTripThroughWriter) {
   }
 }
 
+TEST(JsonIoTest, EdgeDoublesRoundTripBitExactly) {
+  // The daemon's cache journal persists R/pi entries through this codec;
+  // a single misrounded ulp would trip the rehydration mass check, so
+  // the round-trip must be bit-exact across the entire double range.
+  const double edges[] = {
+      std::numeric_limits<double>::denorm_min(),   // smallest subnormal
+      4.9406564584124654e-310,                     // mid-range subnormal
+      std::numeric_limits<double>::min(),          // smallest normal
+      std::nextafter(1.0, 0.0),                    // 1 - ulp/2
+      std::nextafter(1.0, 2.0),                    // 1 + ulp
+      std::numeric_limits<double>::max(),          // DBL_MAX
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+  };
+  for (double v : edges) {
+    JsonWriter w;
+    w.field("v", v);
+    const JsonObject obj = parse_ok(std::move(w).str());
+    const double back = obj.number("v", 99.0);
+    EXPECT_EQ(back, v) << "value " << v;
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << "sign of " << v;
+  }
+}
+
+TEST(JsonIoTest, NegativeZeroKeepsItsSign) {
+  JsonWriter w;
+  w.field("v", -0.0);
+  const std::string line = std::move(w).str();
+  const JsonObject obj = parse_ok(line);
+  const double back = obj.number("v", 99.0);
+  EXPECT_EQ(back, 0.0);
+  EXPECT_TRUE(std::signbit(back)) << "wire form: " << line;
+}
+
 TEST(JsonIoTest, NonFiniteNumbersSerializeAsNull) {
   JsonWriter w;
   w.field("nan", std::numeric_limits<double>::quiet_NaN());

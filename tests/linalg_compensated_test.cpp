@@ -1,0 +1,98 @@
+// Neumaier compensated summation: adversarial cancellation cases where a
+// naive left-to-right sum loses every significant digit, plus the
+// drift-free accumulation property the simulator's long runs rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/compensated.h"
+
+namespace performa::linalg {
+namespace {
+
+TEST(CompensatedSumTest, NeumaierAdversarialCancellation) {
+  // The classic case plain Kahan fails: the big term arrives *after* the
+  // running sum is small, so the small terms' digits live in the
+  // compensation, not the sum. Exact result is 2.0; a naive sum returns
+  // 0.0 (1.0 is absorbed by 1e100 twice).
+  const double xs[] = {1.0, 1e100, 1.0, -1e100};
+  double naive = 0.0;
+  for (double x : xs) naive += x;
+  EXPECT_EQ(naive, 0.0);
+
+  CompensatedSum<double> acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.value(), 2.0);
+
+  EXPECT_EQ(sum_compensated(xs, 4), 2.0);
+}
+
+TEST(CompensatedSumTest, TenMillionTenthsStayExact) {
+  // 0.1 is inexact in binary; accumulating 1e7 of them naively drifts by
+  // ~1e-8 while the compensated total stays within one ulp of the
+  // correctly rounded result.
+  constexpr std::size_t n = 10'000'000;
+  double naive = 0.0;
+  CompensatedSum<double> acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    naive += 0.1;
+    acc.add(0.1);
+  }
+  const double exact = 1e6;
+  EXPECT_GT(std::abs(naive - exact), 1e-9);  // naive visibly drifts
+  EXPECT_LE(std::abs(acc.value() - exact), 1e-9 * exact * 1e-6)
+      << "compensated drift " << acc.value() - exact;
+}
+
+TEST(CompensatedSumTest, DotProductCancellation) {
+  // a.b with catastrophic cancellation between products.
+  const double a[] = {1e80, 1.0, -1e80};
+  const double b[] = {1.0, 3.0, 1.0};
+  EXPECT_EQ(dot_compensated(a, b, 3), 3.0);
+}
+
+TEST(CompensatedSumTest, ResetAndOperatorPlusEq) {
+  CompensatedSum<double> acc(5.0);
+  acc += 2.5;
+  EXPECT_DOUBLE_EQ(acc.value(), 7.5);
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0.0);
+  acc.reset(1.0);
+  EXPECT_EQ(acc.value(), 1.0);
+}
+
+TEST(CompensatedSumTest, LongDoubleVariantCompiles) {
+  CompensatedSum<long double> acc;
+  acc.add(1.0L);
+  acc.add(1e-30L);
+  acc.add(-1.0L);
+  EXPECT_NEAR(static_cast<double>(acc.value()), 1e-30, 1e-40);
+}
+
+TEST(CompensatedSumTest, ErrorIndependentOfSummationOrder) {
+  // Neumaier's bound: the result is within ~eps * sum|x_i| of the exact
+  // sum *regardless of order* (naive summation degrades with n and with
+  // the ordering). Forward and reverse sweeps over a wildly-scaled
+  // alternating sequence must both honor the bound, hence agree to 2x it.
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(std::pow(-1.0, i) * std::pow(1.7, i % 90) * 1e-10);
+  }
+  long double ref = 0.0L, abs_sum = 0.0L;
+  for (double x : xs) {
+    ref += x;
+    abs_sum += std::abs(x);
+  }
+  CompensatedSum<double> fwd, bwd;
+  for (std::size_t i = 0; i < xs.size(); ++i) fwd.add(xs[i]);
+  for (std::size_t i = xs.size(); i-- > 0;) bwd.add(xs[i]);
+  const double bound =
+      2.3e-16 * static_cast<double>(abs_sum);  // ~eps * sum|x|
+  EXPECT_LE(std::abs(fwd.value() - static_cast<double>(ref)), bound);
+  EXPECT_LE(std::abs(bwd.value() - static_cast<double>(ref)), bound);
+  EXPECT_LE(std::abs(fwd.value() - bwd.value()), 2.0 * bound);
+}
+
+}  // namespace
+}  // namespace performa::linalg
