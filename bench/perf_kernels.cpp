@@ -1,18 +1,33 @@
 // Kernel-level performance benchmarks for the numeric substrate: the
 // costs that bound every experiment in this repository (matrix product,
 // LU solve, GTH stationary vectors, matrix exponential, Kronecker sums).
+//
+// Every dense benchmark is parameterized over the kernel backend
+// (final argument: 0 = reference scratch loops, 1 = blocked + threaded),
+// so a run shows the speedup the tiled kernels buy at each size and the
+// CI gate catches regressions in either backend independently.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
 #include "linalg/ctmc.h"
 #include "linalg/expm.h"
+#include "linalg/kernels.h"
 #include "linalg/kron.h"
 #include "linalg/lu.h"
 
 using namespace performa::linalg;
 
 namespace {
+
+// Applies the backend named by `state.range(index)` and labels the run.
+void UseBackendArg(benchmark::State& state, int index) {
+  const KernelBackend backend = state.range(index) == 0
+                                    ? KernelBackend::kReference
+                                    : KernelBackend::kBlocked;
+  set_kernel_backend(backend);
+  state.SetLabel(to_string(backend));
+}
 
 Matrix RandomDominant(std::size_t n, unsigned seed) {
   std::mt19937_64 rng(seed);
@@ -44,6 +59,7 @@ Matrix RandomGenerator(std::size_t n, unsigned seed) {
 }
 
 void BM_MatrixProduct(benchmark::State& state) {
+  UseBackendArg(state, 1);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Matrix a = RandomDominant(n, 1);
   const Matrix b = RandomDominant(n, 2);
@@ -55,6 +71,7 @@ void BM_MatrixProduct(benchmark::State& state) {
 }
 
 void BM_LuFactorSolve(benchmark::State& state) {
+  UseBackendArg(state, 1);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Matrix a = RandomDominant(n, 3);
   const Vector b = ones(n);
@@ -65,6 +82,7 @@ void BM_LuFactorSolve(benchmark::State& state) {
 }
 
 void BM_GthStationary(benchmark::State& state) {
+  UseBackendArg(state, 1);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Matrix q = RandomGenerator(n, 4);
   for (auto _ : state) {
@@ -74,6 +92,7 @@ void BM_GthStationary(benchmark::State& state) {
 }
 
 void BM_Expm(benchmark::State& state) {
+  UseBackendArg(state, 1);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Matrix q = RandomGenerator(n, 5);
   for (auto _ : state) {
@@ -91,12 +110,41 @@ void BM_KronSum(benchmark::State& state) {
   }
 }
 
+// Matrix-free Kronecker-sum application Q^{(+)N} v against materializing
+// the operator first: the structure that unlocks N in the hundreds.
+void BM_KronSumApply(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const Matrix q = RandomGenerator(m, 7);
+  std::size_t dim = 1;
+  for (std::size_t i = 0; i < n; ++i) dim *= m;
+  Vector v(dim, 1.0);
+  for (auto _ : state) {
+    Vector w = kron_sum_apply(q, n, v);
+    benchmark::DoNotOptimize(w);
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
 }  // namespace
 
-BENCHMARK(BM_MatrixProduct)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_GthStationary)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_Expm)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+// (n, backend): backend 0 = reference, 1 = blocked.
+BENCHMARK(BM_MatrixProduct)
+    ->ArgsProduct({{16, 64, 128, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LuFactorSolve)
+    ->ArgsProduct({{16, 64, 128, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GthStationary)
+    ->ArgsProduct({{16, 64, 128}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Expm)
+    ->ArgsProduct({{8, 32, 64}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_KronSum)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+// (m, n): factor size, factor count.
+BENCHMARK(BM_KronSumApply)
+    ->Args({4, 4})->Args({4, 6})->Args({2, 12})
+    ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

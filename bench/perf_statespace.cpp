@@ -4,22 +4,34 @@
 // the lumped construction grows as C(N+m-1, m-1) instead of m^N -- the
 // difference between milliseconds and minutes for N = 4..5 with
 // multi-phase repair distributions.
+//
+// BM_SolveLumped is additionally parameterized over the kernel backend
+// (third argument: 0 = reference, 1 = blocked + threaded): the N = 20
+// pair quantifies what the tiled kernels buy on a 231-phase solve, and
+// the (T=1, N=200) config demonstrates a certified 201-phase lumped
+// solve -- two hundred servers, beyond anything the dense Kronecker
+// chain (2^200 states) could ever touch.
 #include <benchmark/benchmark.h>
 
+#include "linalg/kernels.h"
 #include "map/kron_aggregate.h"
 #include "map/lumped_aggregate.h"
+#include "medist/me_dist.h"
 #include "medist/tpt.h"
 #include "qbd/solution.h"
+#include "qbd/trust.h"
 
 using namespace performa;
 
 namespace {
 
 map::ServerModel Server(unsigned t_phases) {
-  return map::ServerModel(medist::exponential_from_mean(90.0),
-                          medist::make_tpt(
-                              medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
-                          2.0, 0.2);
+  return map::ServerModel(
+      medist::exponential_from_mean(90.0),
+      t_phases <= 1
+          ? medist::exponential_from_mean(10.0)
+          : medist::make_tpt(medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+      2.0, 0.2);
 }
 
 void BM_BuildLumped(benchmark::State& state) {
@@ -45,15 +57,22 @@ void BM_BuildKron(benchmark::State& state) {
 }
 
 void BM_SolveLumped(benchmark::State& state) {
+  linalg::set_kernel_backend(state.range(2) == 0
+                                 ? linalg::KernelBackend::kReference
+                                 : linalg::KernelBackend::kBlocked);
+  state.SetLabel(linalg::to_string(linalg::kernel_backend()));
   const auto server = Server(static_cast<unsigned>(state.range(0)));
   const unsigned n = static_cast<unsigned>(state.range(1));
   const map::LumpedAggregate agg(server, n);
   const auto blocks = qbd::m_mmpp_1(agg.mmpp(), 0.5 * agg.mmpp().mean_rate());
+  bool certified = false;
   for (auto _ : state) {
     qbd::QbdSolution sol(blocks);
     benchmark::DoNotOptimize(sol.mean_queue_length());
+    certified = sol.trust().verdict == qbd::TrustVerdict::kCertified;
   }
   state.counters["states"] = static_cast<double>(agg.state_count());
+  state.counters["certified"] = certified ? 1.0 : 0.0;
 }
 
 void BM_SolveKron(benchmark::State& state) {
@@ -73,7 +92,15 @@ void BM_SolveKron(benchmark::State& state) {
 // (T phases, N servers).
 BENCHMARK(BM_BuildLumped)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Args({10, 5})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BuildKron)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SolveLumped)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
+// (T phases, N servers, backend 0 = reference / 1 = blocked).
+BENCHMARK(BM_SolveLumped)
+    ->Args({2, 2, 1})
+    ->Args({2, 5, 1})
+    ->Args({10, 2, 1})
+    ->Args({2, 20, 0})
+    ->Args({2, 20, 1})
+    ->Args({1, 200, 1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SolveKron)->Args({2, 2})->Args({2, 5})->Args({10, 2})->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -24,6 +24,11 @@
 //                        Perfetto / about://tracing); $PERFORMA_TRACE too
 //   --metrics <path>     dump the metrics registry as JSON at exit;
 //                        $PERFORMA_METRICS too
+//   --threads <n>        linalg pool width for the blocked kernels
+//                        (default $PERFORMA_THREADS, else hardware);
+//                        results are bit-identical for every value
+//   --kernel <name>      dense-kernel backend: blocked (default) or
+//                        reference ($PERFORMA_KERNEL_BACKEND too)
 //
 // The sweep runs up to --jobs points at once, each in a supervised
 // worker subprocess: hung points are SIGKILLed at the timeout and
@@ -46,6 +51,8 @@
 #include "core/cluster_model.h"
 #include "core/mm1.h"
 #include "core/qos.h"
+#include "linalg/kernels.h"
+#include "linalg/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qbd/solve_report.h"
@@ -73,6 +80,7 @@ struct Flags {
   double timeout_seconds = 0.0;
   unsigned retries = 3;
   unsigned jobs = 0;  // points in flight; 0 = one per hardware thread
+  unsigned threads = 0;  // linalg pool width; 0 = environment default
   std::size_t sim_cycles = 0;  // per-point simulation effort (0 = analytic only)
 };
 
@@ -320,6 +328,11 @@ void Usage() {
       "                       trace ($PERFORMA_TRACE works too)\n"
       "  --metrics <path>     dump the metrics registry as JSON at exit\n"
       "                       ($PERFORMA_METRICS works too)\n"
+      "  --threads <n>        linalg pool width for the blocked kernels\n"
+      "                       (default $PERFORMA_THREADS, else hardware;\n"
+      "                       every value computes identical bits)\n"
+      "  --kernel <name>      dense-kernel backend: blocked (default)\n"
+      "                       or reference ($PERFORMA_KERNEL_BACKEND too)\n"
       "%s",
       sim::scenario_grammar().c_str());
 }
@@ -376,6 +389,25 @@ Flags StripFlags(int& argc, char** argv) {
         std::fprintf(stderr, "perfctl: -jN needs a positive count\n");
         std::exit(1);
       }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      flags.threads = static_cast<unsigned>(std::atoi(value(i, "--threads")));
+      if (flags.threads == 0) {
+        std::fprintf(stderr, "perfctl: --threads needs a positive count\n");
+        std::exit(1);
+      }
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      const char* name = value(i, "--kernel");
+      if (std::strcmp(name, "reference") == 0) {
+        linalg::set_kernel_backend(linalg::KernelBackend::kReference);
+      } else if (std::strcmp(name, "blocked") == 0) {
+        linalg::set_kernel_backend(linalg::KernelBackend::kBlocked);
+      } else {
+        std::fprintf(stderr,
+                     "perfctl: --kernel wants 'reference' or 'blocked', "
+                     "got '%s'\n",
+                     name);
+        std::exit(1);
+      }
     } else if (std::strcmp(argv[i], "--timeout") == 0) {
       flags.timeout_seconds = std::atof(value(i, "--timeout"));
     } else if (std::strcmp(argv[i], "--retries") == 0) {
@@ -394,9 +426,12 @@ Flags StripFlags(int& argc, char** argv) {
 }  // namespace
 
 // Flush observability outputs on every exit path: the trace sink closes
-// cleanly and the metrics snapshot lands where --metrics pointed.
+// cleanly and the metrics snapshot lands where --metrics pointed. The
+// linalg pool is joined first so the snapshot reports zero live workers
+// and no thread outlives main (the TSan drill asserts both).
 int FinishObservability(int code) {
   try {
+    linalg::pool_shutdown();
     obs::flush_trace();
     obs::disable_trace();
     obs::write_metrics_if_configured();
@@ -415,6 +450,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
+    if (flags.threads != 0) {
+      linalg::set_pool_threads(flags.threads);
+    }
     if (!flags.trace.empty()) {
       obs::enable_trace_file(flags.trace);
     } else {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "linalg/lu.h"
 #include "obs/deadline.h"
 #include "obs/metrics.h"
@@ -62,7 +63,11 @@ Matrix expm_pade13(const Matrix& a, int squarings) {
 }  // namespace
 
 Matrix expm(const Matrix& a) {
-  PERFORMA_SPAN("linalg.expm");
+  obs::Span span("linalg.expm");
+  // The Padé evaluation and squaring phase run entirely on operator*, so
+  // the active kernel backend decides the tile strategy; record it on the
+  // span so traces attribute expm time to the right kernels.
+  span.annotate("kernel_backend", std::string(to_string(kernel_backend())));
   static obs::Counter& calls = obs::counter("linalg.expm.calls");
   static obs::Counter& retries = obs::counter("linalg.expm.retries");
   calls.add();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
 #include "obs/deadline.h"
 #include "obs/metrics.h"
 
@@ -20,40 +21,14 @@ Lu::Lu(const Matrix& a) : lu_(a) {
   const std::size_t n = lu_.rows();
   piv_.resize(n);
   min_pivot_ = std::numeric_limits<double>::infinity();
-
-  for (std::size_t k = 0; k < n; ++k) {
-    // Cooperative deadline poll, throttled so small factorizations (the
-    // vast majority: QBD phase blocks) pay nothing measurable. Only
-    // systems big enough for one factorization to take visible wall time
-    // check at all.
-    if (n >= 128 && (k & 63u) == 0 && obs::deadline_expired()) {
-      throw DeadlineError("Lu: deadline expired during factorization");
-    }
-    // Partial pivot: largest |entry| in column k at or below the diagonal.
-    std::size_t p = k;
-    double best = std::abs(lu_(k, k));
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double cand = std::abs(lu_(i, k));
-      if (cand > best) {
-        best = cand;
-        p = i;
-      }
-    }
-    if (best == 0.0) throw NumericalError("Lu: matrix is singular");
-    min_pivot_ = std::min(min_pivot_, best);
-    piv_[k] = p;
-    if (p != k) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
-      pivot_sign_ = -pivot_sign_;
-    }
-    const double inv_pivot = 1.0 / lu_(k, k);
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double m = lu_(i, k) * inv_pivot;
-      lu_(i, k) = m;
-      if (m == 0.0) continue;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= m * lu_(k, c);
-    }
-  }
+  // The elimination itself lives in the kernel layer (kernels.h): the
+  // reference backend is the original rank-1 loop, the blocked backend a
+  // panel/GEMM formulation producing the same pivots and (up to the sign
+  // of exact zeros) the same factors. Both poll the cooperative deadline
+  // every 64 columns once n >= 128 and throw NumericalError on a zero
+  // pivot column.
+  kern::lu_factor(n, lu_.data().data(), n, piv_.data(), &pivot_sign_,
+                  &min_pivot_);
 }
 
 Vector Lu::solve(const Vector& b) const {
@@ -79,8 +54,9 @@ Vector Lu::solve(const Vector& b) const {
 
 Matrix Lu::solve(const Matrix& b) const {
   PERFORMA_EXPECTS(b.rows() == order(), "Lu::solve: shape mismatch");
-  Matrix x(b.rows(), b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  Matrix x = b;
+  kern::lu_solve(order(), lu_.data().data(), order(), piv_.data(),
+                 x.data().data(), x.cols(), x.cols());
   return x;
 }
 
@@ -106,8 +82,9 @@ Vector Lu::solve_left(const Vector& b) const {
 
 Matrix Lu::solve_left(const Matrix& b) const {
   PERFORMA_EXPECTS(b.cols() == order(), "Lu::solve_left: shape mismatch");
-  Matrix x(b.rows(), b.cols());
-  for (std::size_t r = 0; r < b.rows(); ++r) x.set_row(r, solve_left(b.row(r)));
+  Matrix x = b;
+  kern::lu_solve_left(order(), lu_.data().data(), order(), piv_.data(),
+                      x.data().data(), x.rows(), x.cols());
   return x;
 }
 

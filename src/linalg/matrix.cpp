@@ -5,6 +5,7 @@
 #include <string>
 
 #include "linalg/compensated.h"
+#include "linalg/kernels.h"
 
 namespace performa::linalg {
 
@@ -120,13 +121,8 @@ Matrix operator-(Matrix m) {
 Matrix operator*(const Matrix& a, const Matrix& b) {
   PERFORMA_EXPECTS(a.cols() == b.rows(), "Matrix product: shape mismatch");
   Matrix c(a.rows(), b.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;  // generators are sparse in practice
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
-    }
-  }
+  kern::gemm(a.rows(), a.cols(), b.cols(), a.data().data(), a.cols(),
+             b.data().data(), b.cols(), c.data().data(), c.cols());
   return c;
 }
 

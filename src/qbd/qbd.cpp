@@ -4,6 +4,7 @@
 
 #include "linalg/ctmc.h"
 #include "linalg/kron.h"
+#include "obs/metrics.h"
 
 namespace performa::qbd {
 
@@ -76,6 +77,12 @@ QbdBlocks m_mmpp_1(const map::Mmpp& service, double lambda) {
   blocks.a1 = q - lam - svc;
   blocks.a2 = svc;
   blocks.validate();
+  return blocks;
+}
+
+QbdBlocks m_mmpp_1_kron(const map::KronMmpp& cluster, double lambda) {
+  QbdBlocks blocks = m_mmpp_1(cluster.materialize(), lambda);
+  blocks.phase_kron = std::make_shared<const map::KronMmpp>(cluster);
   return blocks;
 }
 
@@ -210,8 +217,18 @@ Vector phase_stationary(const QbdBlocks& blocks) {
 }  // namespace
 
 double utilization(const QbdBlocks& blocks) {
-  const Vector pi = phase_stationary(blocks);
   const std::size_t m = blocks.phase_dim();
+  Vector pi;
+  if (blocks.phase_kron != nullptr && blocks.phase_kron->dim() == m) {
+    // Kronecker structure: the joint modulating chain is N independent
+    // copies, so its stationary vector is the product pi1^{⊗N} -- exact,
+    // and O(N·m) instead of a GTH elimination on m^N states.
+    static obs::Counter& hits = obs::counter("qbd.kron.stationary");
+    hits.add();
+    pi = blocks.phase_kron->stationary();
+  } else {
+    pi = phase_stationary(blocks);
+  }
   const Vector e = linalg::ones(m);
   const double up = linalg::dot(pi, blocks.a0 * e);
   const double down = linalg::dot(pi, blocks.a2 * e);

@@ -1,0 +1,241 @@
+// Matrix-free Kronecker-sum equivalence harness.
+//
+// The matrix-free kernels (linalg::kron_sum_apply and the KronMmpp view
+// over them) must agree with the materialized Kronecker sums they
+// replace: same vectors, same rates, same stationary phases, and --
+// through qbd::m_mmpp_1_kron -- the same solved queue. Every check runs
+// against random MAP generators for N = 2..5 factors, where the
+// materialized operator is still small enough to build as the oracle.
+#include "map/kron_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "linalg/kron.h"
+#include "medist/me_dist.h"
+#include "medist/tpt.h"
+#include "qbd/qbd.h"
+#include "qbd/rsolver.h"
+#include "qbd/solution.h"
+#include "test_util.h"
+
+namespace performa::map {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using performa::testing::ExpectClose;
+
+// Random conservative generator: the phase process of a random MAP.
+Matrix RandomGenerator(std::size_t m, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.05, 2.0);
+  Matrix q(m, m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (r == c) continue;
+      q(r, c) = uni(rng);
+      total += q(r, c);
+    }
+    q(r, r) = -total;
+  }
+  return q;
+}
+
+Vector RandomVector(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  Vector v(n);
+  for (double& x : v) x = uni(rng);
+  return v;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(KronSumApply, MatchesMaterializedPowerForN2to5) {
+  for (std::size_t n = 2; n <= 5; ++n) {
+    for (const std::size_t m : {2u, 3u}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m));
+      const Matrix q =
+          RandomGenerator(m, static_cast<unsigned>(100 * n + m));
+      const Matrix big = linalg::kron_sum_power(q, n);
+      const Vector v =
+          RandomVector(big.rows(), static_cast<unsigned>(10 * n + m));
+
+      const Vector direct = big * v;
+      const Vector free = linalg::kron_sum_apply(q, n, v);
+      // The walkers accumulate per-factor instead of per-row, so results
+      // agree to rounding, not bitwise; entries are O(1), hence 1e-12.
+      EXPECT_LE(MaxAbsDiff(direct, free), 1e-12);
+
+      const Vector direct_left = v * big;
+      const Vector free_left = linalg::kron_sum_apply_left(q, n, v);
+      EXPECT_LE(MaxAbsDiff(direct_left, free_left), 1e-12);
+    }
+  }
+}
+
+TEST(KronSumApply, HeterogeneousFactorsMatchMaterializedSum) {
+  // Mixed factor sizes 2, 3, 2: dim 12; fold kron_sum pairwise to get
+  // the dense oracle.
+  const Matrix a = RandomGenerator(2, 21);
+  const Matrix b = RandomGenerator(3, 22);
+  const Matrix c = RandomGenerator(2, 23);
+  const Matrix big = linalg::kron_sum(linalg::kron_sum(a, b), c);
+  const Vector v = RandomVector(big.rows(), 24);
+
+  const Vector free = linalg::kron_sum_apply({a, b, c}, v);
+  EXPECT_LE(MaxAbsDiff(big * v, free), 1e-12);
+
+  const Vector free_left = linalg::kron_sum_apply_left({a, b, c}, v);
+  EXPECT_LE(MaxAbsDiff(v * big, free_left), 1e-12);
+}
+
+TEST(KronSumApply, MatrixRowsApplyLikeVectors) {
+  const Matrix q = RandomGenerator(3, 31);
+  const std::size_t n = 3;
+  const Matrix big = linalg::kron_sum_power(q, n);
+  Matrix x(5, big.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x.set_row(r, RandomVector(big.rows(), 40 + static_cast<unsigned>(r)));
+  }
+  const Matrix y = linalg::kron_sum_apply_left(q, n, x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    SCOPED_TRACE("row " + std::to_string(r));
+    const Vector want = linalg::kron_sum_apply_left(q, n, x.row(r));
+    EXPECT_LE(MaxAbsDiff(want, y.row(r)), 0.0)
+        << "matrix path must reuse the vector walker bit-for-bit";
+  }
+}
+
+TEST(KronSumApply, ShapeMismatchThrows) {
+  const Matrix q = RandomGenerator(2, 51);
+  EXPECT_THROW(linalg::kron_sum_apply(q, 3, Vector(4)),
+               InvalidArgument);
+  EXPECT_THROW(linalg::kron_sum_apply({}, Vector(4)),
+               InvalidArgument);
+  EXPECT_THROW(linalg::kron_sum_apply(Matrix(2, 3), 2, Vector(4)),
+               InvalidArgument);
+}
+
+ServerModel TestServer(unsigned t_phases) {
+  return ServerModel(medist::exponential_from_mean(90.0),
+                     t_phases <= 1
+                         ? medist::exponential_from_mean(10.0)
+                         : medist::make_tpt(
+                               medist::TptSpec{t_phases, 1.4, 0.2, 10.0}),
+                     2.0, 0.2);
+}
+
+TEST(KronMmpp, AgreesWithMaterializedAggregate) {
+  for (const unsigned n : {2u, 3u, 4u}) {
+    SCOPED_TRACE("N=" + std::to_string(n));
+    const ServerModel server = TestServer(2);
+    const KronMmpp cluster(server, n);
+    const Mmpp dense = kron_aggregate(server, n);
+
+    ASSERT_EQ(cluster.dim(), dense.dim());
+    EXPECT_LE(MaxAbsDiff(cluster.rate_vector(), dense.rates()), 1e-12);
+    for (std::size_t s = 0; s < cluster.dim(); s += 7) {
+      ExpectClose(cluster.rate(s), dense.rates()[s], 1e-13, "rate(s)");
+    }
+    ExpectClose(cluster.mean_rate(), dense.mean_rate(), 1e-10, "mean_rate");
+
+    // Operator action against the dense generator.
+    const Vector v = RandomVector(cluster.dim(), 60 + n);
+    EXPECT_LE(MaxAbsDiff(cluster.apply(v), dense.generator() * v), 1e-10);
+    EXPECT_LE(MaxAbsDiff(cluster.apply_left(v),
+                         v * dense.generator()),
+              1e-10);
+
+    // Product-form stationary phases vs the GTH elimination on the full
+    // m^N-state chain.
+    EXPECT_LE(MaxAbsDiff(cluster.stationary(), dense.stationary_phases()),
+              1e-10);
+
+    // materialize() must reproduce the kron_aggregate construction.
+    const Mmpp mat = cluster.materialize();
+    EXPECT_LE(MaxAbsDiff(mat.rates(), dense.rates()), 1e-12);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < mat.generator().data().size(); ++i) {
+      worst = std::max(worst, std::abs(mat.generator().data()[i] -
+                                       dense.generator().data()[i]));
+    }
+    EXPECT_LE(worst, 1e-12);
+  }
+}
+
+TEST(KronMmpp, StateOutOfRangeThrows) {
+  const KronMmpp cluster(TestServer(1), 2);
+  EXPECT_THROW(cluster.rate(cluster.dim()), InvalidArgument);
+}
+
+TEST(KronQbd, StructuredBlocksSolveLikeDenseBlocks) {
+  // m_mmpp_1_kron carries the structure certificate; the answer must not
+  // depend on whether the solver exploits it.
+  const ServerModel server = TestServer(2);
+  for (const unsigned n : {2u, 3u}) {
+    SCOPED_TRACE("N=" + std::to_string(n));
+    const KronMmpp cluster(server, n);
+    const double lambda = 0.6 * cluster.mean_rate();
+
+    const qbd::QbdSolution structured(qbd::m_mmpp_1_kron(cluster, lambda));
+    const qbd::QbdSolution dense(
+        qbd::m_mmpp_1(cluster.materialize(), lambda));
+
+    ExpectClose(structured.mean_queue_length(), dense.mean_queue_length(),
+                1e-9, "E[Q]");
+    ExpectClose(structured.probability_empty(), dense.probability_empty(),
+                1e-9, "P(empty)");
+    ExpectClose(structured.tail(50), dense.tail(50), 1e-8, "tail(50)");
+    EXPECT_EQ(structured.trust().verdict, qbd::TrustVerdict::kCertified);
+  }
+}
+
+TEST(KronQbd, ResidualNormMatchesDensePath) {
+  // The kron fast path in r_residual_norm rewrites A0 + R A1 + R^2 A2
+  // using Q_N matrix-free; the value must match the dense formula on the
+  // same R to tight tolerance (same quantities, different grouping).
+  const ServerModel server = TestServer(2);
+  const KronMmpp cluster(server, 3);
+  const double lambda = 0.55 * cluster.mean_rate();
+
+  qbd::QbdBlocks structured = qbd::m_mmpp_1_kron(cluster, lambda);
+  qbd::QbdBlocks dense = structured;
+  dense.phase_kron = nullptr;  // strip the certificate: dense path
+
+  const auto result = qbd::solve_r(structured, qbd::SolverOptions{});
+  const double via_kron = qbd::r_residual_norm(structured, result.r);
+  const double via_dense = qbd::r_residual_norm(dense, result.r);
+  // The residual of a converged R is pure cancellation noise (~1e-16),
+  // so the two groupings agree only in absolute terms: both must report
+  // "converged", and their gap must sit at rounding level.
+  EXPECT_LE(via_kron, 1e-10);
+  EXPECT_LE(via_dense, 1e-10);
+  EXPECT_LE(std::abs(via_kron - via_dense), 1e-12);
+}
+
+TEST(KronQbd, UtilizationUsesProductFormAndMatchesDense) {
+  const ServerModel server = TestServer(2);
+  const KronMmpp cluster(server, 3);
+  const double lambda = 0.5 * cluster.mean_rate();
+
+  const qbd::QbdBlocks structured = qbd::m_mmpp_1_kron(cluster, lambda);
+  qbd::QbdBlocks dense = structured;
+  dense.phase_kron = nullptr;
+
+  ExpectClose(qbd::utilization(structured), qbd::utilization(dense), 1e-10,
+              "utilization");
+}
+
+}  // namespace
+}  // namespace performa::map

@@ -52,6 +52,12 @@ TEST_P(Metamorphic, BlowupTailExponentMatchesBeta) {
   EXPECT_TRUE(out.pass) << out.detail;
 }
 
+TEST_P(Metamorphic, MatrixFreeKroneckerAgreesWithDense) {
+  const RelationOutcome out =
+      check_kron_matrix_free(draw_model(Seed(GetParam())));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Battery, Metamorphic,
     ::testing::Range(0u, metamorphic_model_count(kDefaultModels)));

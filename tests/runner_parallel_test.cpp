@@ -20,7 +20,13 @@
 #include <vector>
 
 #include "linalg/errors.h"
+#include "linalg/pool.h"
+#include "map/lumped_aggregate.h"
+#include "medist/me_dist.h"
+#include "medist/tpt.h"
 #include "obs/metrics.h"
+#include "qbd/qbd.h"
+#include "qbd/solution.h"
 #include "obs/trace.h"
 #include "runner/checkpoint.h"
 #include "runner/outcome.h"
@@ -520,6 +526,65 @@ TEST(ParallelSweep, TraceMergesWorkerFragmentsWithDistinctPids) {
   // show the supervisor plus several distinct worker pids.
   EXPECT_GE(pids.size(), 3u) << "want distinct worker pids in the merge";
   std::remove(trace.c_str());
+}
+
+// --- kernel thread-count determinism ----------------------------------
+
+// One sweep point: solve a cluster large enough that the blocked kernels
+// genuinely fan out across the linalg pool (T=2 repair, N=20 lumped:
+// 231 phases, GEMM-dominated logred), and emit every released measure
+// plus the trust verdict as metrics.
+PointResult SolveClusterPoint(double rho) {
+  const map::ServerModel server(
+      medist::exponential_from_mean(90.0),
+      medist::make_tpt(medist::TptSpec{2, 1.4, 0.2, 10.0}), 2.0, 0.2);
+  const map::Mmpp mmpp = map::LumpedAggregate(server, 20).mmpp();
+  const qbd::QbdSolution sol(qbd::m_mmpp_1(mmpp, rho * mmpp.mean_rate()));
+  PointResult out;
+  out.metrics.emplace_back("eq", sol.mean_queue_length());
+  out.metrics.emplace_back("p_empty", sol.probability_empty());
+  out.metrics.emplace_back("tail100", sol.tail(100));
+  out.metrics.emplace_back(
+      "verdict", static_cast<double>(sol.trust().verdict));
+  return out;
+}
+
+std::vector<SweepPointSpec> SolveClusterSpecs() {
+  std::vector<SweepPointSpec> pts;
+  int i = 0;
+  for (const double rho : {0.35, 0.6, 0.85}) {
+    pts.push_back({PointId(i++), [rho]() { return SolveClusterPoint(rho); }});
+  }
+  return pts;
+}
+
+TEST(ThreadDeterminism, SweepIsByteIdenticalForAnyPoolWidth) {
+  // The released CSV is a deterministic formatting of these doubles, so
+  // byte-identical CSVs across PERFORMA_THREADS reduces to bit-identical
+  // metric values -- including the verdict column. The pool override is
+  // inherited across the sweep's fork into isolated workers.
+  SweepOptions opts;
+  opts.jobs = 2;
+  linalg::set_pool_threads(1);
+  const auto t1 = run_sweep("pool-w1", SolveClusterSpecs(), opts);
+  linalg::set_pool_threads(2);
+  const auto t2 = run_sweep("pool-w2", SolveClusterSpecs(), opts);
+  linalg::set_pool_threads(8);
+  const auto t8 = run_sweep("pool-w8", SolveClusterSpecs(), opts);
+  linalg::set_pool_threads(0);  // back to the environment default
+
+  ASSERT_EQ(t1.points.size(), 3u);
+  EXPECT_EQ(t1.degraded, 0u);
+  EXPECT_EQ(t8.degraded, 0u);
+  ExpectBitIdentical(t1, t2);
+  ExpectBitIdentical(t1, t8);
+  for (const auto& pt : t1.points) {
+    ASSERT_EQ(pt.metrics.back().first, "verdict");
+    EXPECT_TRUE(BitEqual(
+        pt.metrics.back().second,
+        static_cast<double>(qbd::TrustVerdict::kCertified)))
+        << pt.id;
+  }
 }
 
 TEST(ParallelSweep, PoolMetricsCountPointsAndRetries) {
