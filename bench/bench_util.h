@@ -27,6 +27,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "linalg/kernels.h"
+#include "linalg/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runner/golden.h"
@@ -117,6 +119,11 @@ inline void banner(const char* figure, const char* title,
               "Multi-Server Systems with High-Variance Repair Durations\", "
               "DSN 2007\n");
   std::printf("# parameters: %s\n", params);
+  // Numeric provenance: backend and pool width are bit-transparent, so a
+  // golden byte-diff only needs PERFORMA_THREADS pinned, not the machine.
+  std::printf("# kernel: %s, threads: %u\n",
+              linalg::to_string(linalg::kernel_backend()),
+              linalg::pool_threads());
   if (scale_factor() != 1.0) {
     std::printf("# PERFORMA_BENCH_SCALE=%g\n", scale_factor());
   }

@@ -1,0 +1,98 @@
+// Ablation A6: what the shared repair facility costs at solve time.
+//
+// The level-dependent solver's per-level blocks scale with the facility
+// phase count, which grows combinatorially in crews and spares. These
+// benchmarks separate (a) the state-space construction, (b) the
+// level-dependent solve over facility blocks, and (c) the same solve over
+// the paper's homogeneous independent-repair blocks, so a regression in
+// any one layer is attributable.
+#include <benchmark/benchmark.h>
+
+#include "map/lumped_aggregate.h"
+#include "map/repair_facility.h"
+#include "medist/tpt.h"
+#include "qbd/level_dependent.h"
+
+using namespace performa;
+
+namespace {
+
+medist::MeDistribution Up() { return medist::exponential_from_mean(90.0); }
+
+medist::MeDistribution Down(unsigned t_phases) {
+  return medist::make_tpt(medist::TptSpec{t_phases, 1.4, 0.2, 10.0});
+}
+
+void BM_FacilityBuild(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto c = static_cast<unsigned>(state.range(1));
+  const auto s = static_cast<unsigned>(state.range(2));
+  const auto up = Up();
+  const auto down = Down(5);
+  std::size_t phases = 0;
+  for (auto _ : state) {
+    map::RepairFacility fac(up, down, 2.0, 0.2, n, c, s);
+    phases = fac.state_count();
+    benchmark::DoNotOptimize(fac);
+  }
+  state.SetLabel("phases=" + std::to_string(phases));
+}
+
+void BM_FacilitySolve(benchmark::State& state) {
+  // Contention blocks: c = 1 crew, s spares, TPT(T) repairs at 60% of the
+  // facility's own capacity.
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto s = static_cast<unsigned>(state.range(1));
+  const auto t = static_cast<unsigned>(state.range(2));
+  const map::RepairFacility fac(Up(), Down(t), 2.0, 0.2, n, 1, s);
+  const auto blocks = qbd::repair_facility_level_dependent_blocks(
+      fac, 0.6 * fac.mmpp().mean_rate());
+  for (auto _ : state) {
+    qbd::LevelDependentSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+  state.SetLabel("phases=" + std::to_string(blocks.phase_dim()));
+}
+
+void BM_HomogeneousSolve(benchmark::State& state) {
+  // The paper's independent-repair cluster at the same sizes: the cost
+  // baseline the facility's level dependence is measured against.
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto t = static_cast<unsigned>(state.range(1));
+  const map::LumpedAggregate agg(map::ServerModel(Up(), Down(t), 2.0, 0.2),
+                                 n);
+  const auto blocks = qbd::cluster_level_dependent_blocks(
+      agg, 2.0, 0.2, 0.6 * agg.mmpp().mean_rate());
+  for (auto _ : state) {
+    qbd::LevelDependentSolution sol(blocks);
+    benchmark::DoNotOptimize(sol.mean_queue_length());
+  }
+  state.SetLabel("phases=" + std::to_string(blocks.phase_dim()));
+}
+
+}  // namespace
+
+// (N, c, s): spares dominate the state count long before crews do.
+BENCHMARK(BM_FacilityBuild)
+    ->Args({2, 1, 0})
+    ->Args({2, 1, 2})
+    ->Args({3, 2, 2})
+    ->Args({4, 2, 3})
+    ->Unit(benchmark::kMillisecond);
+
+// (N, s, T): solve cost vs cluster size, spares pool, repair variance.
+BENCHMARK(BM_FacilitySolve)
+    ->Args({2, 0, 5})
+    ->Args({2, 2, 5})
+    ->Args({3, 1, 5})
+    ->Args({3, 1, 10})
+    ->Unit(benchmark::kMillisecond);
+
+// (N, T): the homogeneous baseline at matching sizes.
+BENCHMARK(BM_HomogeneousSolve)
+    ->Args({2, 5})
+    ->Args({3, 5})
+    ->Args({3, 10})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

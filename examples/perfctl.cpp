@@ -5,6 +5,8 @@
 //   perfctl sweep   [N nu_p delta mttf mttr T]     supervised rho sweep (CSV)
 //   perfctl simulate [N nu_p delta mttf mttr rho cycles seed]
 //                                                  multiprocessor simulation
+//   perfctl repair-econ [N nu_p delta mttf mttr T rho cmax smax cc sc]
+//                                                  crew/spares trade-off (CSV)
 //
 // Flags (anywhere on the command line):
 //   --report             solve: print the solver's SolveReport
@@ -53,6 +55,8 @@
 #include "core/qos.h"
 #include "linalg/kernels.h"
 #include "linalg/pool.h"
+#include "map/repair_facility.h"
+#include "qbd/level_dependent.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qbd/solve_report.h"
@@ -86,6 +90,16 @@ struct Flags {
 
 double Arg(int argc, char** argv, int index, double fallback) {
   return argc > index ? std::atof(argv[index]) : fallback;
+}
+
+// CSV provenance comment: which dense-kernel backend and pool width
+// produced the numbers. Both are bit-transparent (every combination
+// computes identical doubles), so a byte-diff against a golden CSV only
+// needs the environment pinned, not the hardware.
+void PrintProvenance() {
+  std::printf("# kernel: %s, threads: %u\n",
+              linalg::to_string(linalg::kernel_backend()),
+              linalg::pool_threads());
 }
 
 core::ClusterParams MakeParams(double n, double nu_p, double delta,
@@ -210,6 +224,7 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
   runner::install_signal_handlers();
   const auto sweep = runner::run_sweep("perfctl-sweep", points, opts);
 
+  PrintProvenance();
   std::printf("rho,mean_ql,normalized,p_empty,tail500,trust%s\n",
               flags.sim_cycles > 0 ? ",sim_mean_ql" : "");
   for (const auto& pt : sweep.points) {
@@ -247,6 +262,123 @@ int CmdSweep(int argc, char** argv, const Flags& flags) {
     const auto golden = runner::load_checkpoint(flags.golden);
     runner::SweepCheckpoint actual;
     actual.sweep_name = "perfctl-sweep";
+    actual.points = sweep.points;
+    const auto report = runner::compare_to_golden(golden, actual);
+    std::fprintf(stderr, "%s", report.to_string().c_str());
+    if (!report.ok()) return 3;
+  }
+  return 0;
+}
+
+// Repair-economics report: sweep the (crews, spares) grid at one fixed
+// arrival rate (rho times the *independent-repair* capacity, the budget a
+// deployment was sized for) and price each configuration with a linear
+// cost model. Contention-starved corners can be unstable at that rate;
+// those points come back as degraded facility-only rows with the blow-up
+// utilization still printed, which is the point of the exercise.
+int CmdRepairEcon(int argc, char** argv, const Flags& flags) {
+  const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
+                            Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
+                            Arg(argc, argv, 6, 10.0),
+                            Arg(argc, argv, 7, 5));
+  const double rho = Arg(argc, argv, 8, 0.7);
+  const unsigned n = p.n_servers;
+  const auto cmax =
+      static_cast<unsigned>(Arg(argc, argv, 9, static_cast<double>(n)));
+  const auto smax = static_cast<unsigned>(Arg(argc, argv, 10, 2));
+  const double crew_cost = Arg(argc, argv, 11, 10.0);
+  const double spare_cost = Arg(argc, argv, 12, 3.0);
+
+  // The reference capacity: c >= N crews, no spares, i.e. the paper's
+  // independent-repair cluster. Every grid point faces this same lambda.
+  const map::RepairFacility reference(p.up, p.down, p.nu_p, p.delta, n, n, 0);
+  const double lambda = rho * reference.mmpp().mean_rate();
+
+  std::vector<runner::SweepPointSpec> points;
+  std::vector<std::pair<unsigned, unsigned>> grid;
+  for (unsigned c = 1; c <= cmax; ++c) {
+    for (unsigned s = 0; s <= smax; ++s) {
+      char id[32];
+      std::snprintf(id, sizeof id, "c=%u,s=%u", c, s);
+      grid.emplace_back(c, s);
+      points.push_back({id, [&p, n, c, s, lambda, crew_cost, spare_cost]() {
+        runner::PointResult out;
+        const map::RepairFacility fac(p.up, p.down, p.nu_p, p.delta, n, c, s);
+        out.metrics.emplace_back("cost", crew_cost * c + spare_cost * s);
+        out.metrics.emplace_back("availability", fac.availability());
+        out.metrics.emplace_back("crew_util", fac.crew_utilization());
+        out.metrics.emplace_back("repair_q", fac.mean_repair_queue());
+        out.metrics.emplace_back("util", lambda / fac.mmpp().mean_rate());
+        try {
+          const qbd::LevelDependentSolution sol(
+              qbd::repair_facility_level_dependent_blocks(fac, lambda));
+          out.metrics.emplace_back("mean_ql", sol.mean_queue_length());
+          out.metrics.emplace_back("tail50", sol.tail(50));
+          out.metrics.emplace_back(
+              "trust", static_cast<double>(sol.trust().verdict));
+        } catch (const qbd::UnstableModel&) {
+          // util >= 1 at this (c, s): the facility cannot carry the
+          // reference load. Keep the facility metrics; the queue columns
+          // stay NaN and the blow-up shows in the util column.
+        }
+        return out;
+      }});
+    }
+  }
+
+  runner::SweepOptions opts;
+  opts.checkpoint_path = flags.checkpoint;
+  opts.resume = flags.resume;
+  opts.sync_checkpoint = flags.sync;
+  opts.timeout_seconds = flags.timeout_seconds;
+  opts.retry.max_attempts = flags.retries;
+  opts.isolate = flags.isolate;
+  opts.jobs = flags.isolate ? flags.jobs : 1;  // inline mode is sequential
+  opts.verbose = flags.report;
+  opts.progress = flags.progress;
+  runner::install_signal_handlers();
+  const auto sweep = runner::run_sweep("perfctl-repair-econ", points, opts);
+
+  PrintProvenance();
+  std::printf("# lambda = %.6f (rho = %g of independent-repair capacity "
+              "%.6f), cost = %g*crews + %g*spares\n",
+              lambda, rho, reference.mmpp().mean_rate(), crew_cost,
+              spare_cost);
+  std::printf(
+      "crews,spares,cost,availability,crew_util,repair_q,util,mean_ql,"
+      "tail50,trust\n");
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const auto& pt = sweep.points[i];
+    std::printf("%u,%u,%.1f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4e", grid[i].first,
+                grid[i].second, pt.metric("cost"), pt.metric("availability"),
+                pt.metric("crew_util"), pt.metric("repair_q"),
+                pt.metric("util"), pt.metric("mean_ql"), pt.metric("tail50"));
+    const double trust = pt.metric("trust");
+    std::printf(",%s\n",
+                std::isnan(trust)
+                    ? "n/a"
+                    : qbd::to_string(static_cast<qbd::TrustVerdict>(
+                          static_cast<int>(trust))));
+    if (pt.outcome != runner::Outcome::kOk) {
+      std::printf("# degraded %s: %s after %u attempt(s): %s\n",
+                  pt.id.c_str(), runner::to_string(pt.outcome), pt.attempts,
+                  pt.message.c_str());
+    }
+  }
+  if (sweep.reused > 0) {
+    std::printf("# resumed: %zu point(s) reused from %s\n", sweep.reused,
+                flags.checkpoint.c_str());
+  }
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "perfctl: sweep interrupted; checkpoint is flushed, rerun "
+                 "with --resume to continue\n");
+    return 130;
+  }
+  if (!flags.golden.empty()) {
+    const auto golden = runner::load_checkpoint(flags.golden);
+    runner::SweepCheckpoint actual;
+    actual.sweep_name = "perfctl-repair-econ";
     actual.points = sweep.points;
     const auto report = runner::compare_to_golden(golden, actual);
     std::fprintf(stderr, "%s", report.to_string().c_str());
@@ -308,6 +440,8 @@ void Usage() {
       "  solve    [N nu_p delta mttf mttr rho T]\n"
       "  sweep    [N nu_p delta mttf mttr T]\n"
       "  simulate [N nu_p delta mttf mttr rho cycles seed]\n"
+      "  repair-econ [N nu_p delta mttf mttr T rho cmax smax cc sc]\n"
+      "           (c, s) crew/spares trade-off CSV; cc/sc = unit costs\n"
       "flags:\n"
       "  --report             print solver diagnostics (solve) / progress (sweep)\n"
       "  --inject <scenario>  run a fault-injection scenario (simulate)\n"
@@ -470,6 +604,8 @@ int main(int argc, char** argv) {
       code = CmdSolve(argc, argv, flags);
     } else if (std::strcmp(argv[1], "sweep") == 0) {
       code = CmdSweep(argc, argv, flags);
+    } else if (std::strcmp(argv[1], "repair-econ") == 0) {
+      code = CmdRepairEcon(argc, argv, flags);
     } else if (std::strcmp(argv[1], "simulate") == 0) {
       code = CmdSimulate(argc, argv, flags);
     } else {

@@ -1,0 +1,345 @@
+#include "map/repair_facility.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace performa::map {
+
+namespace {
+
+// Ordered map from (f, repair, active) to state index; construction only.
+using StateKey = std::tuple<unsigned, Occupancy, Occupancy>;
+using IndexMap = std::map<StateKey, std::size_t>;
+
+std::vector<Occupancy> compositions(std::size_t parts, unsigned total) {
+  std::vector<Occupancy> out;
+  Occupancy current(parts, 0);
+  auto rec = [&](auto&& self, std::size_t pos, unsigned remaining) -> void {
+    if (pos + 1 == parts) {
+      current[pos] = remaining;
+      out.push_back(current);
+      return;
+    }
+    for (unsigned k = 0; k <= remaining; ++k) {
+      current[pos] = k;
+      self(self, pos + 1, remaining - k);
+    }
+  };
+  rec(rec, 0, total);
+  return out;
+}
+
+unsigned occupancy_sum(const Occupancy& occ) {
+  unsigned total = 0;
+  for (unsigned c : occ) total += c;
+  return total;
+}
+
+}  // namespace
+
+Mmpp RepairFacility::build(const medist::MeDistribution& up,
+                           const medist::MeDistribution& down, double nu_p,
+                           double delta, unsigned n, unsigned crews,
+                           unsigned spares, bool homogeneous,
+                           std::vector<FacilityState>& states_out) {
+  PERFORMA_EXPECTS(n >= 1, "RepairFacility: need at least 1 server slot");
+  PERFORMA_EXPECTS(crews >= 1, "RepairFacility: need at least 1 repair crew");
+  PERFORMA_EXPECTS(nu_p > 0.0, "RepairFacility: nu_p must be positive");
+  PERFORMA_EXPECTS(delta >= 0.0 && delta <= 1.0,
+                   "RepairFacility: delta in [0,1]");
+  PERFORMA_EXPECTS(up.is_phase_type() && down.is_phase_type(),
+                   "RepairFacility: UP/DOWN distributions must be phase-type "
+                   "for the occupancy interpretation");
+
+  const std::size_t md = down.dim();
+  const std::size_t mu = up.dim();
+
+  if (homogeneous) {
+    // The facility never binds: every failed unit starts repair at once in
+    // its own slot, which is the paper's independent-repair process. Build
+    // the identical LumpedAggregate (DOWN phases first, same enumeration,
+    // same arithmetic) so downstream solves agree bit-for-bit.
+    const ServerModel server(up, down, nu_p, delta);
+    const LumpedAggregate agg(server, n);
+    states_out.reserve(agg.state_count());
+    for (std::size_t i = 0; i < agg.state_count(); ++i) {
+      const Occupancy& occ = agg.occupancy(i);
+      FacilityState fs;
+      fs.repair.assign(occ.begin(), occ.begin() + static_cast<long>(md));
+      fs.active.assign(occ.begin() + static_cast<long>(md), occ.end());
+      fs.failed = occupancy_sum(fs.repair);
+      states_out.push_back(std::move(fs));
+    }
+    return agg.mmpp();
+  }
+
+  // A crew beyond the unit population can never be busy.
+  const unsigned c_eff = std::min(crews, n + spares);
+
+  // Enumerate states by failed count f: the crew occupancy sums to
+  // min(c, f) and the slot occupancy to min(N, N+s-f); waiting units and
+  // idle spares are phase-less and implied by f.
+  for (unsigned f = 0; f <= n + spares; ++f) {
+    const unsigned r = std::min(c_eff, f);
+    const unsigned a = std::min(n, n + spares - f);
+    for (const Occupancy& d : compositions(md, r)) {
+      for (const Occupancy& u : compositions(mu, a)) {
+        states_out.push_back(FacilityState{f, d, u});
+      }
+    }
+  }
+
+  IndexMap index;
+  for (std::size_t i = 0; i < states_out.size(); ++i) {
+    index.emplace(StateKey{states_out[i].failed, states_out[i].repair,
+                           states_out[i].active},
+                  i);
+  }
+
+  const Vector p_up = up.entry_vector();
+  const Vector p_down = down.entry_vector();
+  const Vector exit_up = up.exit_rates();
+  const Vector exit_down = down.exit_rates();
+  const Matrix& bu = up.rate_matrix();
+  const Matrix& bd = down.rate_matrix();
+
+  const std::size_t n_states = states_out.size();
+  Matrix q(n_states, n_states, 0.0);
+  Vector rates(n_states, 0.0);
+
+  for (std::size_t si = 0; si < n_states; ++si) {
+    const FacilityState& fs = states_out[si];
+    const unsigned f = fs.failed;
+    const unsigned r = std::min(c_eff, f);
+    const unsigned a = std::min(n, n + spares - f);
+    const unsigned w = f - r;
+    const unsigned p = (n + spares - f) - a;
+    rates[si] = nu_p * a + delta * nu_p * (n - a);
+
+    double diag = 0.0;
+    auto add = [&](unsigned f2, const Occupancy& d2, const Occupancy& u2,
+                   double rate) {
+      if (rate <= 0.0) return;
+      q(si, index.at(StateKey{f2, d2, u2})) += rate;
+      diag += rate;
+    };
+
+    // Phase progression of active units (within the UP distribution) and
+    // of units under repair (within the DOWN distribution). The phase
+    // process of <p, B> is the transient chain with generator -B.
+    for (std::size_t i = 0; i < mu; ++i) {
+      if (fs.active[i] == 0) continue;
+      for (std::size_t j = 0; j < mu; ++j) {
+        if (j == i) continue;
+        const double rate = fs.active[i] * -bu(i, j);
+        if (rate <= 0.0) continue;
+        Occupancy u2 = fs.active;
+        --u2[i];
+        ++u2[j];
+        add(f, fs.repair, u2, rate);
+      }
+    }
+    for (std::size_t i = 0; i < md; ++i) {
+      if (fs.repair[i] == 0) continue;
+      for (std::size_t j = 0; j < md; ++j) {
+        if (j == i) continue;
+        const double rate = fs.repair[i] * -bd(i, j);
+        if (rate <= 0.0) continue;
+        Occupancy d2 = fs.repair;
+        --d2[i];
+        ++d2[j];
+        add(f, d2, fs.active, rate);
+      }
+    }
+
+    // Failure of an active unit in UP phase i: the unit enters the shop
+    // (a free crew starts repair in a fresh DOWN phase, else it waits),
+    // and the emptied slot is refilled from spares when any are idle.
+    for (std::size_t i = 0; i < mu; ++i) {
+      if (fs.active[i] == 0) continue;
+      const double base = fs.active[i] * exit_up[i];
+      if (base <= 0.0) continue;
+      const bool starts_repair = r < c_eff;
+      const bool spare_fills = p > 0;
+      Occupancy u_base = fs.active;
+      --u_base[i];
+      if (starts_repair && spare_fills) {
+        for (std::size_t dd = 0; dd < md; ++dd) {
+          if (p_down[dd] <= 0.0) continue;
+          Occupancy d2 = fs.repair;
+          ++d2[dd];
+          for (std::size_t uu = 0; uu < mu; ++uu) {
+            if (p_up[uu] <= 0.0) continue;
+            Occupancy u2 = u_base;
+            ++u2[uu];
+            add(f + 1, d2, u2, base * p_down[dd] * p_up[uu]);
+          }
+        }
+      } else if (starts_repair) {
+        for (std::size_t dd = 0; dd < md; ++dd) {
+          if (p_down[dd] <= 0.0) continue;
+          Occupancy d2 = fs.repair;
+          ++d2[dd];
+          add(f + 1, d2, u_base, base * p_down[dd]);
+        }
+      } else if (spare_fills) {
+        for (std::size_t uu = 0; uu < mu; ++uu) {
+          if (p_up[uu] <= 0.0) continue;
+          Occupancy u2 = u_base;
+          ++u2[uu];
+          add(f + 1, fs.repair, u2, base * p_up[uu]);
+        }
+      } else {
+        add(f + 1, fs.repair, u_base, base);
+      }
+    }
+
+    // Repair completion in DOWN phase i: the freed crew pulls the next
+    // waiting unit (fresh DOWN phase) if any; the repaired unit activates
+    // into an empty slot (fresh UP phase) or joins the cold spares pool.
+    for (std::size_t i = 0; i < md; ++i) {
+      if (fs.repair[i] == 0) continue;
+      const double base = fs.repair[i] * exit_down[i];
+      if (base <= 0.0) continue;
+      const bool next_starts = w > 0;
+      const bool activates = a < n;
+      Occupancy d_base = fs.repair;
+      --d_base[i];
+      if (next_starts && activates) {
+        for (std::size_t dd = 0; dd < md; ++dd) {
+          if (p_down[dd] <= 0.0) continue;
+          Occupancy d2 = d_base;
+          ++d2[dd];
+          for (std::size_t uu = 0; uu < mu; ++uu) {
+            if (p_up[uu] <= 0.0) continue;
+            Occupancy u2 = fs.active;
+            ++u2[uu];
+            add(f - 1, d2, u2, base * p_down[dd] * p_up[uu]);
+          }
+        }
+      } else if (next_starts) {
+        for (std::size_t dd = 0; dd < md; ++dd) {
+          if (p_down[dd] <= 0.0) continue;
+          Occupancy d2 = d_base;
+          ++d2[dd];
+          add(f - 1, d2, fs.active, base * p_down[dd]);
+        }
+      } else if (activates) {
+        for (std::size_t uu = 0; uu < mu; ++uu) {
+          if (p_up[uu] <= 0.0) continue;
+          Occupancy u2 = fs.active;
+          ++u2[uu];
+          add(f - 1, d_base, u2, base * p_up[uu]);
+        }
+      } else {
+        add(f - 1, d_base, fs.active, base);
+      }
+    }
+
+    q(si, si) = -diag;
+  }
+  return Mmpp(std::move(q), std::move(rates));
+}
+
+RepairFacility::RepairFacility(const medist::MeDistribution& up,
+                               const medist::MeDistribution& down, double nu_p,
+                               double delta, unsigned n_servers, unsigned crews,
+                               unsigned spares)
+    : n_servers_(n_servers),
+      crews_(crews),
+      spares_(spares),
+      nu_p_(nu_p),
+      delta_(delta),
+      homogeneous_(crews >= n_servers && spares == 0),
+      states_(),
+      mmpp_(build(up, down, nu_p, delta, n_servers, crews, spares,
+                  homogeneous_, states_)) {}
+
+const FacilityState& RepairFacility::state(std::size_t idx) const {
+  PERFORMA_EXPECTS(idx < states_.size(),
+                   "RepairFacility::state: index out of range");
+  return states_[idx];
+}
+
+unsigned RepairFacility::active_count(std::size_t idx) const {
+  return occupancy_sum(state(idx).active);
+}
+
+unsigned RepairFacility::in_repair_count(std::size_t idx) const {
+  return occupancy_sum(state(idx).repair);
+}
+
+unsigned RepairFacility::waiting_count(std::size_t idx) const {
+  const FacilityState& fs = state(idx);
+  return fs.failed - occupancy_sum(fs.repair);
+}
+
+unsigned RepairFacility::spare_count(std::size_t idx) const {
+  const FacilityState& fs = state(idx);
+  return (n_servers_ + spares_ - fs.failed) - occupancy_sum(fs.active);
+}
+
+Vector RepairFacility::active_count_distribution() const {
+  const Vector pi = mmpp_.stationary_phases();
+  Vector dist(n_servers_ + 1, 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    dist[active_count(i)] += pi[i];
+  }
+  return dist;
+}
+
+double RepairFacility::availability() const {
+  const Vector dist = active_count_distribution();
+  double mean = 0.0;
+  for (std::size_t a = 0; a < dist.size(); ++a) {
+    mean += static_cast<double>(a) * dist[a];
+  }
+  return mean / n_servers_;
+}
+
+double RepairFacility::mean_repair_queue() const {
+  const Vector pi = mmpp_.stationary_phases();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    mean += static_cast<double>(waiting_count(i)) * pi[i];
+  }
+  return mean;
+}
+
+double RepairFacility::crew_utilization() const {
+  const Vector pi = mmpp_.stationary_phases();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    mean += static_cast<double>(in_repair_count(i)) * pi[i];
+  }
+  return mean / std::min(crews_, n_servers_ + spares_);
+}
+
+double RepairFacility::mean_idle_spares() const {
+  const Vector pi = mmpp_.stationary_phases();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    mean += static_cast<double>(spare_count(i)) * pi[i];
+  }
+  return mean;
+}
+
+std::size_t repair_facility_state_count(std::size_t down_phases,
+                                        std::size_t up_phases,
+                                        unsigned n_servers, unsigned crews,
+                                        unsigned spares) {
+  const unsigned c_eff =
+      std::min(crews, n_servers + spares);
+  std::size_t total = 0;
+  for (unsigned f = 0; f <= n_servers + spares; ++f) {
+    const unsigned r = std::min(c_eff, f);
+    const unsigned a = std::min(n_servers, n_servers + spares - f);
+    total += lumped_state_count(down_phases, r) *
+             lumped_state_count(up_phases, a);
+  }
+  return total;
+}
+
+}  // namespace performa::map

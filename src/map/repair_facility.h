@@ -1,0 +1,122 @@
+// Shared repair facility: the two-echelon c-crew / s-spare extension of
+// the cluster's failure/repair process (Ferreira-style repair-system
+// model; ROADMAP item 3).
+//
+// The paper repairs every failed server independently and in place. Here
+// the N active *slots* draw operational units from a finite population of
+// N + s units, and failed units funnel through a repair shop with c crews:
+//
+//   slot (active, UP phases)  --fail-->  repair shop:  crew free?
+//                                          yes: in repair (DOWN phases)
+//                                          no:  FCFS wait (phase-less)
+//   repaired unit --> empty slot (fresh UP phase) or cold spares pool
+//   slot emptied by a failure --> refilled from spares immediately, or
+//                                 runs degraded (delta * nu_p) until a
+//                                 repaired unit arrives
+//
+// State: (f, d, u) with f failed units in the shop, d an occupancy vector
+// over the repair (DOWN) phases summing to r = min(c, f), and u an
+// occupancy over the UP phases summing to a = min(N, N+s-f). Waiting
+// units w = f - r and idle spares p = (N+s-f) - a are phase-less, so they
+// are implied by f. The resulting state count,
+//
+//   sum_f C(r+m_d-1, m_d-1) * C(a+m_u-1, m_u-1),
+//
+// stays small even for large N when c is small: only units *in repair*
+// carry repair phases, which is exactly what makes repair contention
+// tractable where the independent model's lumped space would explode.
+//
+// When the facility never binds (c >= N and s == 0) every failed unit is
+// repaired immediately in its own slot and the process *is* the paper's
+// independent-repair model: the construction then delegates to
+// LumpedAggregate, so downstream solves are bit-for-bit identical to the
+// homogeneous path ("the paper's answers").
+#pragma once
+
+#include <vector>
+
+#include "map/lumped_aggregate.h"
+
+namespace performa::map {
+
+/// One lumped state of the repair-facility process.
+struct FacilityState {
+  unsigned failed = 0;  ///< units in the shop (in repair + waiting)
+  Occupancy repair;     ///< occupancy over DOWN phases, sums to min(c, f)
+  Occupancy active;     ///< occupancy over UP phases, sums to min(N, N+s-f)
+};
+
+/// The c-crew / s-spare repair facility around N active slots.
+class RepairFacility {
+ public:
+  /// `up`/`down`: per-unit UP and repair duration distributions (must be
+  /// phase-type for the occupancy interpretation); `nu_p`: service speed
+  /// of an operational slot; `delta` in [0,1]: degraded speed factor of a
+  /// slot with no operational unit; `crews` >= 1; `spares` >= 0.
+  RepairFacility(const medist::MeDistribution& up,
+                 const medist::MeDistribution& down, double nu_p, double delta,
+                 unsigned n_servers, unsigned crews, unsigned spares);
+
+  unsigned n_servers() const noexcept { return n_servers_; }
+  unsigned crews() const noexcept { return crews_; }
+  unsigned spares() const noexcept { return spares_; }
+  double nu_p() const noexcept { return nu_p_; }
+  double delta() const noexcept { return delta_; }
+
+  /// True iff the facility never binds (c >= N, s = 0) and the process
+  /// was built by delegation to LumpedAggregate: solves on mmpp() then
+  /// reproduce the independent-repair model bit-for-bit.
+  bool homogeneous() const noexcept { return homogeneous_; }
+
+  /// The modulating process with per-state service rates
+  /// nu_p * a + delta * nu_p * (N - a), a = operational slots.
+  const Mmpp& mmpp() const noexcept { return mmpp_; }
+  std::size_t state_count() const noexcept { return states_.size(); }
+  const FacilityState& state(std::size_t idx) const;
+
+  /// Operational slots a, units in repair r, FCFS-waiting units w and
+  /// idle spares p of lumped state `idx`.
+  unsigned active_count(std::size_t idx) const;
+  unsigned in_repair_count(std::size_t idx) const;
+  unsigned waiting_count(std::size_t idx) const;
+  unsigned spare_count(std::size_t idx) const;
+
+  /// Stationary distribution of the operational-slot count (0..N).
+  Vector active_count_distribution() const;
+
+  /// Slot availability E[a] / N: long-run fraction of slots holding an
+  /// operational unit. Equals the independent model's per-server
+  /// availability when the facility never binds; strictly below it when
+  /// repair contention queues recoveries.
+  double availability() const;
+
+  /// Long-run mean number of failed units waiting for a crew (E[w]).
+  double mean_repair_queue() const;
+  /// Long-run fraction of crews busy: E[r] / min(c, N+s).
+  double crew_utilization() const;
+  /// Long-run mean number of idle spares (E[p]).
+  double mean_idle_spares() const;
+
+ private:
+  static Mmpp build(const medist::MeDistribution& up,
+                    const medist::MeDistribution& down, double nu_p,
+                    double delta, unsigned n, unsigned crews, unsigned spares,
+                    bool homogeneous, std::vector<FacilityState>& states_out);
+
+  unsigned n_servers_;
+  unsigned crews_;
+  unsigned spares_;
+  double nu_p_;
+  double delta_;
+  bool homogeneous_;
+  std::vector<FacilityState> states_;
+  Mmpp mmpp_;
+};
+
+/// State count of the facility process without building it.
+std::size_t repair_facility_state_count(std::size_t down_phases,
+                                        std::size_t up_phases,
+                                        unsigned n_servers, unsigned crews,
+                                        unsigned spares);
+
+}  // namespace performa::map

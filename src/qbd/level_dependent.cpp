@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "linalg/compensated.h"
 #include "linalg/lu.h"
 
 namespace performa::qbd {
 
-LevelDependentSolution::LevelDependentSolution(
-    const LevelDependentBlocks& blocks, const SolverOptions& opts) {
+double LevelDependentSolution::solve(const LevelDependentBlocks& blocks,
+                                     const SolverOptions& opts) {
   PERFORMA_EXPECTS(!blocks.service.empty(),
                    "LevelDependentSolution: need at least one service level");
   PERFORMA_EXPECTS(blocks.lambda > 0.0,
@@ -30,7 +32,9 @@ LevelDependentSolution::LevelDependentSolution(
   homogeneous.a0 = lam;
   homogeneous.a1 = blocks.q - lam - m_top;
   homogeneous.a2 = m_top;
-  r_ = solve_r(homogeneous, opts).r;
+  const RSolveResult rres = solve_r(homogeneous, opts);
+  r_ = rres.r;
+  report_ = rres.report;
   i_minus_r_inv_ = linalg::inverse(Matrix::identity(m) - r_);
 
   // Assemble the boundary system over y = [pi_0 .. pi_C] (row vector).
@@ -56,6 +60,12 @@ LevelDependentSolution::LevelDependentSolution(
   add_block(c_levels - 1, c_levels, lam);
   add_block(c_levels, c_levels, blocks.q - lam - m_top + r_ * m_top);
 
+  // Keep the balance system before the normalization row overwrites
+  // equation component 0: that component is not enforced by the solve, so
+  // grading the solution against the full original system measures
+  // genuine quality, not how well LU inverted its own matrix.
+  const Matrix balance = sys;
+
   // Replace equation component (0,0) with the normalization row.
   const Vector norm_tail = i_minus_r_inv_ * linalg::ones(m);
   for (std::size_t i = 0; i < n_unknowns; ++i) sys(0, i) = 0.0;
@@ -65,6 +75,21 @@ LevelDependentSolution::LevelDependentSolution(
   rhs[0] = 1.0;
 
   const Vector y = linalg::Lu(sys).solve(rhs);
+
+  // Relative defect of the pre-normalization balance equations, evaluated
+  // in compensated long double.
+  long double worst = 0.0L;
+  for (std::size_t i = 0; i < n_unknowns; ++i) {
+    linalg::CompensatedSum<long double> acc;
+    for (std::size_t j = 0; j < n_unknowns; ++j) {
+      acc.add(static_cast<long double>(balance(i, j)) * y[j]);
+    }
+    worst = std::max(worst, std::abs(acc.value()));
+  }
+  const double scale =
+      std::max(linalg::norm_inf(balance) * linalg::norm_inf(y), 1e-300);
+  boundary_defect_ = static_cast<double>(worst) / scale;
+
   pis_.resize(c_levels + 1);
   for (std::size_t k = 0; k <= c_levels; ++k) {
     pis_[k].assign(y.begin() + static_cast<std::ptrdiff_t>(k * m),
@@ -77,6 +102,68 @@ LevelDependentSolution::LevelDependentSolution(
       }
     }
   }
+  return rres.residual;
+}
+
+void LevelDependentSolution::run_checks(const TrustPolicy& policy,
+                                        double r_resid) {
+  trust_.checks.clear();
+  trust_.checks.push_back({"r-residual", r_resid, policy.r_residual_certified,
+                           policy.r_residual_rejected,
+                           "||A0 + R A1 + R^2 A2|| / sum||Ai||"});
+  trust_.checks.push_back({"boundary-residual", boundary_defect_,
+                           policy.boundary_residual_certified,
+                           policy.boundary_residual_rejected,
+                           "level-dependent balance system, compensated"});
+  // Probability-mass conservation: sum_k<C pi_k e + pi_C (I-R)^{-1} e = 1,
+  // in compensated long double ((I-R)^{-1} amplifies any R perturbation).
+  linalg::CompensatedSum<long double> acc;
+  const std::size_t c_levels = pis_.size() - 1;
+  for (std::size_t k = 0; k < c_levels; ++k) {
+    for (double x : pis_[k]) acc.add(static_cast<long double>(x));
+  }
+  const std::size_t m = pis_[c_levels].size();
+  for (std::size_t j = 0; j < m; ++j) {
+    linalg::CompensatedSum<long double> row;
+    for (std::size_t k = 0; k < m; ++k) {
+      row.add(static_cast<long double>(i_minus_r_inv_(j, k)));
+    }
+    acc.add(static_cast<long double>(pis_[c_levels][j]) * row.value());
+  }
+  const double mass_defect =
+      std::abs(static_cast<double>(acc.value() - 1.0L));
+  trust_.checks.push_back({"mass-conservation", mass_defect,
+                           policy.mass_defect_certified,
+                           policy.mass_defect_rejected,
+                           "sum_k pi_k e + pi_C (I-R)^{-1} e vs 1"});
+  trust_.grade();
+}
+
+LevelDependentSolution::LevelDependentSolution(
+    const LevelDependentBlocks& blocks, const SolverOptions& opts) {
+  double r_resid = solve(blocks, opts);
+  const TrustPolicy& policy = opts.trust;
+  if (!policy.enabled) return;  // trust_ stays unverified
+  run_checks(policy, r_resid);
+  if (trust_.verdict == TrustVerdict::kSuspect && policy.escalate) {
+    SolverOptions tighter = opts;
+    tighter.tolerance = std::max(opts.tolerance * 1e-2, 1e-16);
+    r_resid = solve(blocks, tighter);
+    run_checks(policy, r_resid);
+    trust_.resolves = 1;
+    trust_.healing =
+        std::string("re-solve(tolerance/100)->") + to_string(trust_.verdict);
+  }
+  if (trust_.verdict == TrustVerdict::kRejected) {
+    throw TrustRejected(
+        "LevelDependentSolution: answer fails a rejection threshold", trust_);
+  }
+}
+
+const Vector& LevelDependentSolution::pi(std::size_t k) const {
+  PERFORMA_EXPECTS(k < pis_.size(),
+                   "LevelDependentSolution::pi: level beyond boundary");
+  return pis_[k];
 }
 
 double LevelDependentSolution::probability_empty() const {
@@ -139,6 +226,30 @@ LevelDependentBlocks cluster_level_dependent_blocks(
       const unsigned up = cluster.up_count(s);
       const unsigned busy_up = std::min(k, up);
       const unsigned busy_down = std::min(k - busy_up, n - up);
+      rates[s] = nu_p * busy_up + delta * nu_p * busy_down;
+    }
+    blocks.service.push_back(Matrix::diag(rates));
+  }
+  return blocks;
+}
+
+LevelDependentBlocks repair_facility_level_dependent_blocks(
+    const map::RepairFacility& facility, double lambda) {
+  const unsigned n = facility.n_servers();
+  const std::size_t m = facility.state_count();
+  const double nu_p = facility.nu_p();
+  const double delta = facility.delta();
+
+  LevelDependentBlocks blocks;
+  blocks.q = facility.mmpp().generator();
+  blocks.lambda = lambda;
+  blocks.service.reserve(n);
+  for (unsigned k = 1; k <= n; ++k) {
+    Vector rates(m, 0.0);
+    for (std::size_t s = 0; s < m; ++s) {
+      const unsigned a = facility.active_count(s);
+      const unsigned busy_up = std::min(k, a);
+      const unsigned busy_down = std::min(k - busy_up, n - a);
       rates[s] = nu_p * busy_up + delta * nu_p * busy_down;
     }
     blocks.service.push_back(Matrix::diag(rates));

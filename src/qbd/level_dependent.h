@@ -6,11 +6,20 @@
 // Levels 0..C-1 carry level-specific service matrices M_k (rate of the
 // k -> k-1 transition); from level C on the process is homogeneous and the
 // usual matrix-geometric tail pi_{C+j} = pi_C R^j applies.
+//
+// Like QbdSolution, every solving construction is verified a posteriori:
+// the released solution carries the R solve's SolveReport plus a
+// TrustReport grading the r-residual, the defect of the full
+// (pre-normalization) boundary balance system, and compensated
+// probability-mass conservation. A suspect first verdict triggers one
+// tighter-tolerance re-solve; a final rejected verdict throws
+// TrustRejected instead of releasing wrong numbers.
 #pragma once
 
 #include <vector>
 
 #include "map/lumped_aggregate.h"
+#include "map/repair_facility.h"
 #include "qbd/solution.h"
 
 namespace performa::qbd {
@@ -28,6 +37,10 @@ struct LevelDependentBlocks {
 /// Stationary solution of the level-dependent QBD.
 class LevelDependentSolution {
  public:
+  /// Solves R and the boundary system, verifies per opts.trust and
+  /// re-solves once at tighter tolerance on a suspect verdict. Throws
+  /// NumericalError if the queue is unstable or the solvers fail, and
+  /// TrustRejected if the healed answer still fails a rejection threshold.
   explicit LevelDependentSolution(const LevelDependentBlocks& blocks,
                                   const SolverOptions& opts = {});
 
@@ -41,10 +54,28 @@ class LevelDependentSolution {
   /// Boundary level count C (levels with their own pi_k vector).
   std::size_t boundary_levels() const noexcept { return pis_.size() - 1; }
 
+  /// Boundary vector pi_k, k = 0..C.
+  const Vector& pi(std::size_t k) const;
+  /// Rate matrix of the homogeneous tail (levels >= C).
+  const Matrix& r() const noexcept { return r_; }
+
+  /// Guardrail diagnostics of the underlying R solve.
+  const SolveReport& report() const noexcept { return report_; }
+  /// A posteriori trust verdict with per-check evidence.
+  const TrustReport& trust() const noexcept { return trust_; }
+
  private:
+  /// One full solve pass; returns the scaled R-residual and stores the
+  /// pre-normalization boundary defect in boundary_defect_.
+  double solve(const LevelDependentBlocks& blocks, const SolverOptions& opts);
+  void run_checks(const TrustPolicy& policy, double r_resid);
+
   std::vector<Vector> pis_;  // pi_0 .. pi_C
   Matrix r_;
   Matrix i_minus_r_inv_;
+  double boundary_defect_ = 0.0;
+  SolveReport report_;
+  TrustReport trust_;
 };
 
 /// Build the load-dependent cluster queue on the lumped state space:
@@ -59,5 +90,14 @@ class LevelDependentSolution {
 LevelDependentBlocks cluster_level_dependent_blocks(
     const map::LumpedAggregate& cluster, double nu_p, double delta,
     double lambda);
+
+/// Same construction on the shared-repair-facility process: the per-state
+/// operational-slot count a replaces the UP count, so repair contention
+/// (fewer operational slots, longer DOWN excursions) feeds straight into
+/// the service rates. When the facility is homogeneous (c >= N, s = 0)
+/// the blocks equal cluster_level_dependent_blocks on the delegated
+/// LumpedAggregate bit-for-bit.
+LevelDependentBlocks repair_facility_level_dependent_blocks(
+    const map::RepairFacility& facility, double lambda);
 
 }  // namespace performa::qbd

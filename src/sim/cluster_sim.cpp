@@ -36,7 +36,7 @@ struct Server {
 
 // Kinds of events the loop races; faults are first-class events so
 // injection happens at exact simulated times (deterministic per seed).
-enum class Event { kArrival, kToggle, kCompletion, kCrash, kBurst };
+enum class Event { kArrival, kToggle, kCompletion, kRepairDone, kCrash, kBurst };
 
 }  // namespace
 
@@ -66,10 +66,16 @@ void ClusterSimConfig::validate() const {
                        static_cast<bool>(task_work),
                    "ClusterSimConfig: samplers must be set");
   PERFORMA_EXPECTS(cycles > 0, "ClusterSimConfig: cycles > 0");
+  PERFORMA_EXPECTS(spares == 0 || repair_crews > 0,
+                   "ClusterSimConfig: spares require a repair facility "
+                   "(repair_crews > 0)");
   if (resume_from) {
     PERFORMA_EXPECTS(resume_from->servers.size() == n_servers,
                      "ClusterSimConfig: resume snapshot was taken with a "
                      "different number of servers");
+    PERFORMA_EXPECTS(resume_from->crew_done.size() == repair_crews,
+                     "ClusterSimConfig: resume snapshot was taken with a "
+                     "different repair-crew count");
   }
   faults.validate();
 }
@@ -124,6 +130,14 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
   };
   double next_arrival = 0.0;
 
+  // Shared repair facility (crews == 0: legacy independent repairs; the
+  // facility code paths then never draw from the RNG, keeping legacy
+  // streams bit-identical).
+  const bool facility = config.repair_crews > 0;
+  std::vector<double> crew_done(config.repair_crews, kInf);
+  std::size_t waiting = 0;
+  std::size_t spares_avail = facility ? config.spares : 0;
+
   ClusterSimResult result;
   result.queue_stats = TimeWeightedStats(config.histogram_cap);
   TimeWeightedStats& stats = result.queue_stats;
@@ -172,6 +186,9 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
     for (const ClusterTaskState& ts : st.queue) {
       queue.push_back(Task{ts.remaining, ts.total, ts.arrival});
     }
+    crew_done = st.crew_done;  // size validated against repair_crews
+    waiting = st.waiting;
+    spares_avail = st.spares_avail;
   } else {
     for (Server& s : servers) {
       s.next_toggle = draw_duration(config.up, "uptime (TTF)");
@@ -205,6 +222,9 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
     for (const Task& t : queue) {
       st->queue.push_back({t.remaining, t.total, t.arrival});
     }
+    st->crew_done = crew_done;
+    st->waiting = waiting;
+    st->spares_avail = spares_avail;
     st->partial = result;       // counters + statistics so far
     st->partial.state.reset();  // snapshots never nest
     st->partial.paused = false;
@@ -247,12 +267,37 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
     return s.last_update + s.task->remaining / speed;
   };
 
+  // A failed unit enters the shop: a free crew starts repair immediately,
+  // otherwise it joins the FCFS backlog.
+  auto shop_admit = [&]() {
+    for (double& cd : crew_done) {
+      if (cd == kInf) {
+        cd = now + draw_repair();
+        return;
+      }
+    }
+    ++waiting;
+    result.max_repair_backlog = std::max(result.max_repair_backlog, waiting);
+  };
+
+  // Install an operational unit into slot s (fresh TTF clock).
+  auto install_unit = [&](Server& s) {
+    advance(s);
+    s.up = true;
+    s.next_toggle = now + draw_duration(config.up, "uptime (TTF)");
+  };
+
   // UP -> DOWN transition of one server, shared by the renewal process
   // and by injected common-mode crashes.
   auto fail_server = [&](Server& s) {
     advance(s);
     s.up = false;
-    s.next_toggle = now + draw_repair();
+    if (facility) {
+      s.next_toggle = kInf;  // recovery comes from the shop, not a clock
+      shop_admit();
+    } else {
+      s.next_toggle = now + draw_repair();
+    }
     if (s.task && crash) {
       Task t = *s.task;
       s.task.reset();
@@ -277,6 +322,14 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
       }
     }
     // delta > 0: the task (if any) keeps running at degraded speed.
+    if (facility && spares_avail > 0) {
+      // Instant swap from the cold spares pool: the slot is operational
+      // again before any degraded time accrues.
+      --spares_avail;
+      ++result.spare_swaps;
+      install_unit(s);
+      if (!s.task) start_next(s);
+    }
   };
 
   // Dispatch a freshly arrived task: prefer an idle UP server; fall back
@@ -375,6 +428,13 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
         idx = static_cast<int>(i);
       }
     }
+    for (std::size_t j = 0; j < crew_done.size(); ++j) {
+      if (crew_done[j] < t_next) {
+        t_next = crew_done[j];
+        ev = Event::kRepairDone;
+        idx = static_cast<int>(j);
+      }
+    }
     if (crash_next < crashes.size()) {
       // A fault scheduled in the past (before the loop advanced to it)
       // fires immediately.
@@ -435,6 +495,50 @@ ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
             // Counters start from zero after warm-up by construction.
           }
           if (!s.task) start_next(s);
+        }
+        break;
+      }
+      case Event::kRepairDone: {
+        double& cd = crew_done[static_cast<std::size_t>(idx)];
+        // The re-failure fault preempts the completion and the repair
+        // starts over (same scenario semantics as the legacy toggle path).
+        if (config.faults.repair_preemption > 0.0 &&
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+                config.faults.repair_preemption) {
+          cd = now + draw_repair();
+          ++result.repair_preemptions;
+          break;
+        }
+        ++result.repairs_completed;
+        // The freed crew pulls the next waiting unit, FCFS.
+        if (waiting > 0) {
+          --waiting;
+          cd = now + draw_repair();
+        } else {
+          cd = kInf;
+        }
+        // The repaired unit activates into a degraded slot if any,
+        // otherwise it joins the cold spares pool.
+        Server* slot = nullptr;
+        for (Server& s : servers) {
+          if (!s.up) {
+            slot = &s;
+            break;
+          }
+        }
+        if (slot) {
+          install_unit(*slot);
+          if (!slot->task) start_next(*slot);
+        } else {
+          ++spares_avail;
+        }
+        // A facility repair completion is the cycle unit here (the
+        // DOWN -> UP analogue of the legacy toggle path).
+        ++cycles_done;
+        if (!warm && cycles_done >= config.warmup_cycles) {
+          warm = true;
+          warm_start = now;
+          stats.reset();
         }
         break;
       }

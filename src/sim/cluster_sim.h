@@ -7,6 +7,11 @@
 // Unlike the analytic M/MMPP/1 model this simulator is load-dependent:
 // a task is served by one server, so with fewer tasks than servers the
 // cluster cannot use its full capacity (the effect quantified in Fig. 7).
+//
+// Optionally the independent per-server repairs are replaced by a shared
+// repair facility (repair_crews / spares below) with the same two-echelon
+// semantics as map/repair_facility.h, for cross-validating the
+// level-dependent analytic model.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +59,15 @@ struct ClusterSimConfig {
   Sampler task_work = exponential_sampler(1.0);
 
   FailureStrategy strategy = FailureStrategy::kResumeBack;
+
+  /// Shared repair facility (map/repair_facility.h semantics). 0 crews =
+  /// the paper's unlimited independent repairs (legacy behaviour, RNG
+  /// stream unchanged). With crews > 0, failed units queue FCFS for one
+  /// of `repair_crews` crews, `spares` cold standby units fill emptied
+  /// slots instantly, and a slot with no operational unit runs degraded
+  /// at delta*nu_p until a repaired unit arrives.
+  unsigned repair_crews = 0;
+  unsigned spares = 0;
 
   /// Stop after this many completed UP/DOWN cycles (counted across all
   /// servers, after warm-up). The paper uses 2e5 cycles per run.
@@ -111,6 +125,11 @@ struct ClusterSimResult {
   std::size_t injected_arrivals = 0;    ///< tasks injected by bursts
   std::size_t repair_preemptions = 0;   ///< repairs that re-failed mid-repair
 
+  // Repair-facility bookkeeping (zero in legacy unlimited-repair runs).
+  std::size_t repairs_completed = 0;    ///< facility repair completions
+  std::size_t spare_swaps = 0;          ///< failed slots refilled from spares
+  std::size_t max_repair_backlog = 0;   ///< peak FCFS repair-queue length
+
   // Checkpoint / replay bookkeeping.
   bool paused = false;        ///< pause_after_events stopped the run early
   /// Snapshot to hand back via ClusterSimConfig::resume_from (set only
@@ -154,6 +173,12 @@ struct ClusterSimState {
   std::size_t burst_next = 0;   ///< consumed prefix of the burst schedule
   std::vector<ClusterServerState> servers;
   std::vector<ClusterTaskState> queue;  ///< FIFO order, front first
+
+  // Repair-facility state (empty/zero in legacy unlimited-repair runs).
+  std::vector<double> crew_done;  ///< per-crew completion time (inf = idle)
+  std::size_t waiting = 0;        ///< failed units queued for a crew
+  std::size_t spares_avail = 0;   ///< idle operational spares
+
   ClusterSimResult partial;     ///< counters and statistics so far
 };
 

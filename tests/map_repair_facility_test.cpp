@@ -1,0 +1,165 @@
+// The shared repair facility (c crews, s spares) at the model level:
+// state-space bookkeeping, the bit-for-bit delegation to LumpedAggregate
+// when the facility never binds, and the qualitative contention ordering
+// (fewer crews / fewer spares => lower availability).
+#include "map/repair_facility.h"
+
+#include <gtest/gtest.h>
+
+#include "medist/tpt.h"
+#include "test_util.h"
+
+namespace performa::map {
+namespace {
+
+using medist::exponential_from_mean;
+using medist::make_tpt;
+using medist::MeDistribution;
+using medist::TptSpec;
+
+MeDistribution PaperUp() { return exponential_from_mean(90.0); }
+
+MeDistribution PaperDown(unsigned t_phases) {
+  if (t_phases <= 1) return exponential_from_mean(10.0);
+  return make_tpt(TptSpec{t_phases, 1.4, 0.2, 10.0});
+}
+
+RepairFacility Make(unsigned n, unsigned crews, unsigned spares,
+                    unsigned t_phases = 2) {
+  return RepairFacility(PaperUp(), PaperDown(t_phases), 2.0, 0.2, n, crews,
+                        spares);
+}
+
+TEST(RepairFacility, StateCountMatchesFormula) {
+  for (unsigned n : {2u, 3u}) {
+    for (unsigned c : {1u, 2u, 4u}) {
+      for (unsigned s : {0u, 1u, 2u}) {
+        const RepairFacility fac = Make(n, c, s);
+        EXPECT_EQ(fac.state_count(),
+                  repair_facility_state_count(2, 1, n, c, s))
+            << "n=" << n << " c=" << c << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(RepairFacility, HomogeneousFlagOnlyWhenFacilityNeverBinds) {
+  EXPECT_TRUE(Make(2, 2, 0).homogeneous());
+  EXPECT_TRUE(Make(2, 5, 0).homogeneous());
+  EXPECT_FALSE(Make(2, 1, 0).homogeneous());
+  EXPECT_FALSE(Make(2, 2, 1).homogeneous());  // spares change the process
+}
+
+TEST(RepairFacility, HomogeneousDelegatesToLumpedAggregateBitForBit) {
+  const MeDistribution up = PaperUp();
+  const MeDistribution down = PaperDown(3);
+  const RepairFacility fac(up, down, 2.0, 0.2, 2, 2, 0);
+  const LumpedAggregate agg(ServerModel(up, down, 2.0, 0.2), 2);
+
+  ASSERT_TRUE(fac.homogeneous());
+  ASSERT_EQ(fac.state_count(), agg.state_count());
+  const Matrix& qf = fac.mmpp().generator();
+  const Matrix& qa = agg.mmpp().generator();
+  for (std::size_t i = 0; i < fac.state_count(); ++i) {
+    EXPECT_DOUBLE_EQ(fac.mmpp().rates()[i], agg.mmpp().rates()[i]) << i;
+    for (std::size_t j = 0; j < fac.state_count(); ++j) {
+      EXPECT_DOUBLE_EQ(qf(i, j), qa(i, j)) << i << "," << j;
+    }
+  }
+  // State bookkeeping agrees: failed = DOWN-occupancy sum = N - up_count.
+  for (std::size_t i = 0; i < fac.state_count(); ++i) {
+    EXPECT_EQ(fac.active_count(i), agg.up_count(i)) << i;
+    EXPECT_EQ(fac.state(i).failed, 2u - agg.up_count(i)) << i;
+    EXPECT_EQ(fac.waiting_count(i), 0u) << i;
+    EXPECT_EQ(fac.spare_count(i), 0u) << i;
+  }
+}
+
+TEST(RepairFacility, HomogeneousAvailabilityMatchesServerModel) {
+  const MeDistribution up = PaperUp();
+  const MeDistribution down = PaperDown(3);
+  const RepairFacility fac(up, down, 2.0, 0.2, 3, 3, 0);
+  const ServerModel server(up, down, 2.0, 0.2);
+  // Independent units: E[a]/N equals the per-server availability.
+  EXPECT_NEAR(fac.availability(), server.availability(), 1e-9);
+}
+
+TEST(RepairFacility, UnitAccountingIdentityHoldsInEveryState) {
+  const RepairFacility fac = Make(3, 1, 2, 3);
+  for (std::size_t i = 0; i < fac.state_count(); ++i) {
+    // Every one of the N + s units is active, an idle spare, in repair,
+    // or waiting for a crew.
+    EXPECT_EQ(fac.active_count(i) + fac.spare_count(i) +
+                  fac.in_repair_count(i) + fac.waiting_count(i),
+              3u + 2u)
+        << i;
+    EXPECT_EQ(fac.in_repair_count(i) + fac.waiting_count(i),
+              fac.state(i).failed)
+        << i;
+  }
+}
+
+TEST(RepairFacility, SerialRepairKeepsAtMostOneUnitInRepair) {
+  const RepairFacility fac = Make(3, 1, 1, 4);
+  for (std::size_t i = 0; i < fac.state_count(); ++i) {
+    EXPECT_LE(fac.in_repair_count(i), 1u) << i;
+  }
+}
+
+TEST(RepairFacility, ActiveCountDistributionNormalized) {
+  const RepairFacility fac = Make(3, 1, 1, 3);
+  const Vector dist = fac.active_count_distribution();
+  ASSERT_EQ(dist.size(), 4u);
+  double total = 0.0, mean = 0.0;
+  for (std::size_t a = 0; a < dist.size(); ++a) {
+    EXPECT_GE(dist[a], 0.0);
+    total += dist[a];
+    mean += static_cast<double>(a) * dist[a];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(fac.availability(), mean / 3.0, 1e-14);
+}
+
+TEST(RepairFacility, ContentionReducesAvailability) {
+  // High-variance repairs (TPT, T = 5): a single crew queues recoveries,
+  // so availability drops materially below the independent-repair model.
+  const RepairFacility serial = Make(3, 1, 0, 5);
+  const RepairFacility parallel = Make(3, 3, 0, 5);
+  EXPECT_LT(serial.availability(), parallel.availability() - 0.01)
+      << "serial=" << serial.availability()
+      << " parallel=" << parallel.availability();
+  EXPECT_GT(serial.mean_repair_queue(), parallel.mean_repair_queue());
+}
+
+TEST(RepairFacility, SparesImproveAvailability) {
+  const RepairFacility bare = Make(3, 1, 0, 5);
+  const RepairFacility spared = Make(3, 1, 2, 5);
+  EXPECT_GT(spared.availability(), bare.availability());
+  EXPECT_GT(spared.mean_idle_spares(), 0.0);
+  EXPECT_DOUBLE_EQ(bare.mean_idle_spares(), 0.0);
+}
+
+TEST(RepairFacility, CrewUtilizationWithinUnitInterval) {
+  for (unsigned c : {1u, 2u, 4u}) {
+    const RepairFacility fac = Make(2, c, 1, 3);
+    EXPECT_GT(fac.crew_utilization(), 0.0) << "c=" << c;
+    EXPECT_LT(fac.crew_utilization(), 1.0) << "c=" << c;
+  }
+}
+
+TEST(RepairFacility, ValidatesInput) {
+  EXPECT_THROW(Make(2, 0, 0), InvalidArgument);  // no crews
+  EXPECT_THROW(RepairFacility(PaperUp(), PaperDown(2), -1.0, 0.2, 2, 1, 0),
+               InvalidArgument);
+  EXPECT_THROW(RepairFacility(PaperUp(), PaperDown(2), 2.0, 1.5, 2, 1, 0),
+               InvalidArgument);
+  EXPECT_THROW(Make(0, 1, 0), InvalidArgument);  // no servers
+}
+
+TEST(RepairFacility, StateAccessorRejectsOutOfRange) {
+  const RepairFacility fac = Make(2, 1, 0);
+  EXPECT_THROW(fac.state(fac.state_count()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace performa::map
