@@ -13,7 +13,9 @@
 
 #include "map/lumped_aggregate.h"
 #include "medist/tpt.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "qbd/solution.h"
 #include "sim/cluster_sim.h"
@@ -76,6 +78,48 @@ void BM_HistogramRecord(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 
+// A log site below the active level is the telemetry analogue of a
+// disabled span: one relaxed atomic load and a predictable branch.
+// This is the cost every PERFORMA_LOG(kDebug, ...) site adds to a hot
+// path at the default (info) level -- the ~1 ns claim, bench-gated.
+void BM_LogBelowLevel(benchmark::State& state) {
+  obs::set_log_level(obs::LogLevel::kError);
+  for (auto _ : state) {
+    PERFORMA_LOG(kInfo, "bench.log.disabled").kv("i", 1);
+    benchmark::ClobberMemory();
+  }
+  obs::set_log_level(obs::LogLevel::kInfo);
+}
+
+// An admitted-level site that the token bucket has exhausted: level
+// gate, the site's static init check, and one failed admit. The cost a
+// hot *warn* loop pays once its burst is spent.
+void BM_LogSiteExhausted(benchmark::State& state) {
+  obs::set_log_file("/dev/null");  // the burst's 16 lines go nowhere
+  for (auto _ : state) {
+    PERFORMA_LOG(kWarn, "bench.log.exhausted").kv("i", 1);
+    benchmark::ClobberMemory();
+  }
+  obs::reset_log_for_test();
+}
+
+// Rendering the Prometheus exposition for a realistically sized
+// registry: what one /metrics scrape costs the daemon's IO thread.
+void BM_PromEncode(benchmark::State& state) {
+  for (int i = 0; i < 40; ++i) {
+    obs::counter("bench.prom.c" + std::to_string(i)).add(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    obs::gauge("bench.prom.g" + std::to_string(i)).set(i * 0.5);
+    obs::Histogram& h = obs::histogram("bench.prom.h" + std::to_string(i));
+    for (int s = 0; s < 32; ++s) h.record(0.001 * (1 << (s % 12)));
+  }
+  for (auto _ : state) {
+    std::string text = obs::prometheus_metrics();
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+
 // --- macro: instrumented hot loops with tracing off -------------------
 
 void BM_RSolverTracingOff(benchmark::State& state) {
@@ -111,6 +155,9 @@ BENCHMARK(BM_SpanDisabled);
 BENCHMARK(BM_SpanEnabledMemory);
 BENCHMARK(BM_CounterAdd);
 BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_LogBelowLevel);
+BENCHMARK(BM_LogSiteExhausted);
+BENCHMARK(BM_PromEncode);
 BENCHMARK(BM_RSolverTracingOff)->Arg(5)->Arg(10);
 BENCHMARK(BM_ClusterSimTracingOff)->Arg(2000);
 

@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition (format 0.0.4). Stdlib only.
+
+Usage:
+    promtext_lint.py FILE        lint an exposition file ('-' for stdin)
+    promtext_lint.py --selftest  run the built-in corpus
+
+Checks (the subset a scrape actually depends on):
+  - metric and label names match the exposition charsets
+  - every sample line parses: name[{labels}] value [timestamp]
+  - label values are properly quoted with closed escapes
+  - at most one ``# TYPE`` per family, declared before its samples
+  - no duplicate (name, label-set) sample
+  - histogram families: cumulative non-decreasing buckets, a ``+Inf``
+    bucket equal to ``_count``, and ``_sum``/``_count`` present
+
+Exit 0 when clean, 1 with one ``file:line: message`` per problem.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE = re.compile(r"^[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|Inf|NaN)$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(text, errors, lineno):
+    """Parse the inside of a {...} label block; returns list of (k, v)."""
+    labels = []
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0:
+            errors.append((lineno, "label block: missing '='"))
+            return labels
+        name = text[i:eq].strip()
+        if not LABEL_NAME.match(name):
+            errors.append((lineno, "bad label name %r" % name))
+        j = eq + 1
+        if j >= n or text[j] != '"':
+            errors.append((lineno, "label %r: value not quoted" % name))
+            return labels
+        j += 1
+        value = []
+        closed = False
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                if j + 1 >= n:
+                    errors.append((lineno, "label %r: dangling escape" % name))
+                    return labels
+                nxt = text[j + 1]
+                if nxt not in ('"', "\\", "n"):
+                    errors.append(
+                        (lineno, "label %r: bad escape \\%s" % (name, nxt)))
+                value.append(c + nxt)
+                j += 2
+                continue
+            if c == '"':
+                closed = True
+                j += 1
+                break
+            if c == "\n":
+                errors.append((lineno, "label %r: raw newline" % name))
+            value.append(c)
+            j += 1
+        if not closed:
+            errors.append((lineno, "label %r: unterminated value" % name))
+            return labels
+        labels.append((name, "".join(value)))
+        if j < n and text[j] == ",":
+            j += 1
+        elif j < n:
+            errors.append((lineno, "label block: expected ',' at %r" % text[j]))
+            return labels
+        i = j
+    return labels
+
+
+def lint(lines, source="<input>"):
+    errors = []           # (lineno, message)
+    types = {}            # family -> declared type
+    type_line = {}        # family -> lineno of TYPE
+    seen_samples = set()  # (name, frozen labels)
+    samples = []          # (lineno, name, labels-dict, float value)
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append((lineno, "malformed TYPE line"))
+                    continue
+                family, kind = parts[2], parts[3].strip()
+                if not METRIC_NAME.match(family):
+                    errors.append((lineno, "TYPE: bad family name %r" % family))
+                if kind not in KNOWN_TYPES:
+                    errors.append((lineno, "TYPE: unknown kind %r" % kind))
+                if family in types:
+                    errors.append(
+                        (lineno, "duplicate TYPE for %s (first at line %d)"
+                         % (family, type_line[family])))
+                else:
+                    types[family] = kind
+                    type_line[family] = lineno
+            continue  # other comments (# HELP, plain) are fine
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([^\s{]+)(\{.*\})?\s+(\S+)(\s+-?\d+)?\s*$", line)
+        if not m:
+            errors.append((lineno, "unparseable sample line"))
+            continue
+        name, label_block, value = m.group(1), m.group(2), m.group(3)
+        if not METRIC_NAME.match(name):
+            errors.append((lineno, "bad metric name %r" % name))
+        if not VALUE.match(value):
+            errors.append((lineno, "bad sample value %r" % value))
+        labels = []
+        if label_block:
+            labels = parse_labels(label_block[1:-1], errors, lineno)
+        key = (name, tuple(sorted(labels)))
+        if key in seen_samples:
+            errors.append((lineno, "duplicate sample %s%s" % (name,
+                          "{...}" if labels else "")))
+        seen_samples.add(key)
+        try:
+            fvalue = float(value.replace("Inf", "inf"))
+        except ValueError:
+            fvalue = float("nan")
+        samples.append((lineno, name, dict(labels), fvalue))
+
+    # TYPE declared after its first sample?
+    first_sample_line = {}
+    for lineno, name, labels, _ in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        for fam in (name, base):
+            if fam not in first_sample_line:
+                first_sample_line[fam] = lineno
+    for family, tline in type_line.items():
+        sline = first_sample_line.get(family)
+        if sline is not None and sline < tline:
+            errors.append(
+                (tline, "TYPE for %s after its first sample (line %d)"
+                 % (family, sline)))
+
+    # Histogram invariants.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = {}  # label-set minus 'le' -> [(le, value, lineno)]
+        sums = set()
+        counts = {}
+        for lineno, name, labels, value in samples:
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append((lineno, "%s_bucket without le" % family))
+                    continue
+                rest = tuple(sorted((k, v) for k, v in labels.items()
+                                    if k != "le"))
+                buckets.setdefault(rest, []).append((le, value, lineno))
+            elif name == family + "_sum":
+                sums.add(tuple(sorted(labels.items())))
+            elif name == family + "_count":
+                counts[tuple(sorted(labels.items()))] = value
+        if not buckets:
+            errors.append((type_line[family],
+                           "histogram %s has no _bucket samples" % family))
+        for rest, entries in buckets.items():
+            def edge(le):
+                return float("inf") if le == "+Inf" else float(le)
+            prev = -1.0
+            prev_edge = float("-inf")
+            saw_inf = False
+            for le, value, lineno in entries:
+                try:
+                    e = edge(le)
+                except ValueError:
+                    errors.append((lineno, "bad le=%r" % le))
+                    continue
+                if e <= prev_edge:
+                    errors.append(
+                        (lineno, "%s buckets out of order at le=%s"
+                         % (family, le)))
+                if value < prev:
+                    errors.append(
+                        (lineno, "%s buckets not cumulative at le=%s"
+                         % (family, le)))
+                prev, prev_edge = value, e
+                saw_inf = saw_inf or le == "+Inf"
+            if not saw_inf:
+                errors.append(
+                    (entries[-1][2], "histogram %s missing +Inf bucket"
+                     % family))
+            elif rest in counts and entries[-1][0] == "+Inf" \
+                    and entries[-1][1] != counts[rest]:
+                errors.append(
+                    (entries[-1][2],
+                     "%s +Inf bucket (%g) != _count (%g)"
+                     % (family, entries[-1][1], counts[rest])))
+        if not sums:
+            errors.append((type_line[family],
+                           "histogram %s missing _sum" % family))
+        if not counts:
+            errors.append((type_line[family],
+                           "histogram %s missing _count" % family))
+
+    return [(source, lineno, msg) for lineno, msg in sorted(errors)]
+
+
+GOOD = """\
+# TYPE daemon_requests counter
+daemon_requests 42
+# TYPE daemon_requests_by_op counter
+daemon_requests_by_op{op="solve"} 40
+daemon_requests_by_op{op="tail quoted \\"x\\" \\\\ and \\n"} 2
+# TYPE daemon_queue_depth gauge
+daemon_queue_depth 1.5
+# TYPE solve_seconds histogram
+solve_seconds_bucket{le="0.25"} 1
+solve_seconds_bucket{le="0.5"} 3
+solve_seconds_bucket{le="+Inf"} 4
+solve_seconds_sum 1.75
+solve_seconds_count 4
+empty_value_nan NaN
+"""
+
+BAD_CASES = [
+    ("bad name", "9lives 1\n", "bad metric name"),
+    ("bad value", "x one\n", "bad sample value"),
+    ("dup type", "# TYPE a counter\n# TYPE a gauge\na 1\n", "duplicate TYPE"),
+    ("dup sample", "a{l=\"x\"} 1\na{l=\"x\"} 2\n", "duplicate sample"),
+    ("open quote", "a{l=\"x} 1\n", "unterminated"),
+    ("bad escape", "a{l=\"\\q\"} 1\n", "bad escape"),
+    ("bad label", "a{9l=\"x\"} 1\n", "bad label name"),
+    ("type after sample", "a 1\n# TYPE a counter\n", "after its first sample"),
+    ("not cumulative",
+     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+     "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "not cumulative"),
+    ("no inf",
+     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+     "missing +Inf"),
+    ("inf != count",
+     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\n"
+     "h_sum 1\nh_count 6\n", "!= _count"),
+]
+
+
+def selftest():
+    failures = 0
+    errs = lint(GOOD.splitlines(True), "good")
+    if errs:
+        failures += 1
+        print("FAIL: clean corpus flagged:")
+        for source, lineno, msg in errs:
+            print("  %s:%d: %s" % (source, lineno, msg))
+    for label, text, expect in BAD_CASES:
+        errs = lint(text.splitlines(True), label)
+        if not any(expect in msg for _, _, msg in errs):
+            failures += 1
+            print("FAIL: %r did not raise %r (got %r)"
+                  % (label, expect, [m for _, _, m in errs]))
+    print("selftest: %s" % ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if argv[1] == "--selftest":
+        return selftest()
+    if argv[1] == "-":
+        lines = sys.stdin.readlines()
+        source = "<stdin>"
+    else:
+        with open(argv[1]) as f:
+            lines = f.readlines()
+        source = argv[1]
+    errs = lint(lines, source)
+    for src, lineno, msg in errs:
+        print("%s:%d: %s" % (src, lineno, msg))
+    if not errs:
+        print("%s: OK (%d lines)" % (source, len(lines)))
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

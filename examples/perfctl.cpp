@@ -26,6 +26,9 @@
 //                        Perfetto / about://tracing); $PERFORMA_TRACE too
 //   --metrics <path>     dump the metrics registry as JSON at exit;
 //                        $PERFORMA_METRICS too
+//   --metrics-prom <path> dump the registry in Prometheus text format
+//   --trust-floor <x>    clamp every verification threshold to x (0 forces
+//                        the TrustRejected exit-4 path for drills)
 //   --threads <n>        linalg pool width for the blocked kernels
 //                        (default $PERFORMA_THREADS, else hardware);
 //                        results are bit-identical for every value
@@ -57,7 +60,9 @@
 #include "linalg/pool.h"
 #include "map/repair_facility.h"
 #include "qbd/level_dependent.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "qbd/solve_report.h"
 #include "qbd/trust.h"
@@ -66,6 +71,8 @@
 #include "sim/cluster_sim.h"
 
 using namespace performa;
+
+int FinishObservability(int code);
 
 namespace {
 
@@ -77,6 +84,8 @@ struct Flags {
   std::string golden;      // golden-result file to compare against
   std::string trace;       // trace_event JSONL output path (empty = off)
   std::string metrics;     // metrics JSON output path (empty = off)
+  std::string metrics_prom;  // Prometheus text-format output path
+  double trust_floor = -1.0;  // >= 0: clamp every trust threshold to this
   bool resume = false;
   bool sync = false;
   bool isolate = true;
@@ -134,6 +143,26 @@ int CmdBlowup(int argc, char** argv) {
   return 0;
 }
 
+// --trust-floor X: clamp every verification threshold (certified and
+// rejected alike) to X. X=0 rejects any answer with a measurable defect
+// -- the supported way to force the TrustRejected exit path (used by the
+// CI drill asserting telemetry sinks flush on exit 4).
+qbd::SolverOptions SolveOptions(const Flags& flags) {
+  qbd::SolverOptions opts;
+  if (flags.trust_floor >= 0.0) {
+    qbd::TrustPolicy& t = opts.trust;
+    t.escalate = false;  // fail fast; healing cannot beat a zero floor
+    t.r_residual_certified = t.r_residual_rejected = flags.trust_floor;
+    t.boundary_residual_certified = t.boundary_residual_rejected =
+        flags.trust_floor;
+    t.mass_defect_certified = t.mass_defect_rejected = flags.trust_floor;
+    t.phase_agreement_certified = t.phase_agreement_rejected =
+        flags.trust_floor;
+    t.forward_error_certified = t.forward_error_rejected = flags.trust_floor;
+  }
+  return opts;
+}
+
 int CmdSolve(int argc, char** argv, const Flags& flags) {
   const auto p = MakeParams(Arg(argc, argv, 2, 2), Arg(argc, argv, 3, 2.0),
                             Arg(argc, argv, 4, 0.2), Arg(argc, argv, 5, 90.0),
@@ -141,7 +170,8 @@ int CmdSolve(int argc, char** argv, const Flags& flags) {
                             Arg(argc, argv, 8, 10));
   const double rho = Arg(argc, argv, 7, 0.7);
   const core::ClusterModel model(p);
-  const auto sol = model.solve(model.lambda_for_rho(rho));
+  const auto sol = model.solve(model.lambda_for_rho(rho),
+                               SolveOptions(flags));
   const double nu_bar = model.mean_service_rate();
 
   std::printf("availability      %.4f\n", model.availability());
@@ -462,6 +492,11 @@ void Usage() {
       "                       trace ($PERFORMA_TRACE works too)\n"
       "  --metrics <path>     dump the metrics registry as JSON at exit\n"
       "                       ($PERFORMA_METRICS works too)\n"
+      "  --metrics-prom <path> dump the metrics registry in Prometheus\n"
+      "                       text format (0.0.4) at exit\n"
+      "  --trust-floor <x>    clamp every verification threshold to x\n"
+      "                       (0 forces rejection of any imperfect answer;\n"
+      "                       exercises the exit-4 trust-rejection path)\n"
       "  --threads <n>        linalg pool width for the blocked kernels\n"
       "                       (default $PERFORMA_THREADS, else hardware;\n"
       "                       every value computes identical bits)\n"
@@ -469,6 +504,15 @@ void Usage() {
       "                       or reference ($PERFORMA_KERNEL_BACKEND too)\n"
       "%s",
       sim::scenario_grammar().c_str());
+}
+
+// Usage errors exit through the same observability flush as every other
+// path: an env-configured metrics sink ($PERFORMA_METRICS) still gets
+// its dump even when the command line was malformed.
+[[noreturn]] void UsageExit() {
+  obs::init_trace_from_env();
+  obs::init_metrics_from_env();
+  std::exit(FinishObservability(1));
 }
 
 // Strips flags out of argv; remaining arguments keep their relative
@@ -479,7 +523,7 @@ Flags StripFlags(int& argc, char** argv) {
   const auto value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "perfctl: %s needs a value\n", flag);
-      std::exit(1);
+      UsageExit();
     }
     return argv[++i];
   };
@@ -491,7 +535,7 @@ Flags StripFlags(int& argc, char** argv) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "perfctl: --inject needs a scenario\n%s",
                      sim::scenario_grammar().c_str());
-        std::exit(1);
+        UsageExit();
       }
       flags.inject = argv[++i];
     } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
@@ -502,6 +546,10 @@ Flags StripFlags(int& argc, char** argv) {
       flags.trace = value(i, "--trace");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       flags.metrics = value(i, "--metrics");
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      flags.metrics_prom = value(i, "--metrics-prom");
+    } else if (std::strcmp(argv[i], "--trust-floor") == 0) {
+      flags.trust_floor = std::atof(value(i, "--trust-floor"));
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       flags.resume = true;
     } else if (std::strcmp(argv[i], "--sync") == 0) {
@@ -515,19 +563,19 @@ Flags StripFlags(int& argc, char** argv) {
       flags.jobs = static_cast<unsigned>(std::atoi(value(i, "--jobs")));
       if (flags.jobs == 0) {
         std::fprintf(stderr, "perfctl: --jobs needs a positive count\n");
-        std::exit(1);
+        UsageExit();
       }
     } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
       flags.jobs = static_cast<unsigned>(std::atoi(argv[i] + 2));
       if (flags.jobs == 0) {
         std::fprintf(stderr, "perfctl: -jN needs a positive count\n");
-        std::exit(1);
+        UsageExit();
       }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       flags.threads = static_cast<unsigned>(std::atoi(value(i, "--threads")));
       if (flags.threads == 0) {
         std::fprintf(stderr, "perfctl: --threads needs a positive count\n");
-        std::exit(1);
+        UsageExit();
       }
     } else if (std::strcmp(argv[i], "--kernel") == 0) {
       const char* name = value(i, "--kernel");
@@ -540,7 +588,7 @@ Flags StripFlags(int& argc, char** argv) {
                      "perfctl: --kernel wants 'reference' or 'blocked', "
                      "got '%s'\n",
                      name);
-        std::exit(1);
+        UsageExit();
       }
     } else if (std::strcmp(argv[i], "--timeout") == 0) {
       flags.timeout_seconds = std::atof(value(i, "--timeout"));
@@ -559,16 +607,24 @@ Flags StripFlags(int& argc, char** argv) {
 
 }  // namespace
 
+// Prometheus dump path for FinishObservability (set once in main).
+std::string g_metrics_prom;
+
 // Flush observability outputs on every exit path: the trace sink closes
 // cleanly and the metrics snapshot lands where --metrics pointed. The
 // linalg pool is joined first so the snapshot reports zero live workers
-// and no thread outlives main (the TSan drill asserts both).
+// and no thread outlives main (the TSan drill asserts both). Error
+// exits flush too -- a rejected answer (exit 4) must still leave its
+// counters behind, or the rejection itself is invisible to monitoring.
 int FinishObservability(int code) {
   try {
     linalg::pool_shutdown();
     obs::flush_trace();
     obs::disable_trace();
     obs::write_metrics_if_configured();
+    if (!g_metrics_prom.empty()) {
+      obs::write_prometheus_file(g_metrics_prom);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perfctl: observability flush failed: %s\n",
                  e.what());
@@ -579,10 +635,6 @@ int FinishObservability(int code) {
 
 int main(int argc, char** argv) {
   const Flags flags = StripFlags(argc, argv);
-  if (argc < 2) {
-    Usage();
-    return 1;
-  }
   try {
     if (flags.threads != 0) {
       linalg::set_pool_threads(flags.threads);
@@ -596,6 +648,15 @@ int main(int argc, char** argv) {
       obs::set_metrics_path(flags.metrics);
     } else {
       obs::init_metrics_from_env();
+    }
+    g_metrics_prom = flags.metrics_prom;
+    obs::init_log_from_env();
+    // One qid per perfctl invocation: every span and SolveReport this
+    // run produces carries it, mirroring the daemon's per-request ids.
+    obs::QueryIdScope qid_scope(obs::mint_query_id());
+    if (argc < 2) {
+      Usage();
+      return FinishObservability(1);
     }
     int code = 1;
     if (std::strcmp(argv[1], "blowup") == 0) {

@@ -11,12 +11,15 @@
 // Signals: SIGTERM/SIGINT drain and exit 0; SIGHUP reloads --config;
 // SIGKILL is *safe* -- that is the point -- the journal rehydrates the
 // cache on the next start.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "daemon/server.h"
+#include "obs/flight.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -42,7 +45,18 @@ void usage(const char* argv0) {
       "  --watchdog-grace-ms N    escalation step past a blown deadline\n"
       "                           (default 2000)\n"
       "  --config PATH        key=value file re-read on SIGHUP\n"
-      "  --debug-ops          enable the debug-sleep test op\n",
+      "  --debug-ops          enable the debug-sleep test op\n"
+      "  --slow-query-ms N    log `daemon.slow_query` for solves at\n"
+      "                       least this slow (default 1000; 0 disables)\n"
+      "  --flight PREFIX      crash flight recorder: keep the last ring\n"
+      "                       of log/span events in PREFIX.flight.<pid>\n"
+      "                       (mmap'd; survives SIGKILL, removed on a\n"
+      "                       clean exit)\n"
+      "\n"
+      "Telemetry env: PERFORMA_LOG (NDJSON log path), PERFORMA_LOG_LEVEL,\n"
+      "PERFORMA_FLIGHT (like --flight), PERFORMA_TRACE, PERFORMA_METRICS.\n"
+      "GET /metrics on the TCP or Unix listener answers a Prometheus\n"
+      "text-format scrape.\n",
       argv0);
 }
 
@@ -57,6 +71,7 @@ bool parse_number(const char* text, double& out) {
 int main(int argc, char** argv) {
   performa::daemon::DaemonConfig config;
   config.engine.sync_journal = true;
+  std::string flight_prefix;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +109,11 @@ int main(int argc, char** argv) {
       config.config_path = argv[++i];
     } else if (arg == "--debug-ops") {
       config.engine.debug_ops = true;
+    } else if (arg == "--slow-query-ms" && has_value &&
+               parse_number(argv[++i], value)) {
+      config.engine.slow_query_seconds = value / 1e3;
+    } else if (arg == "--flight" && has_value) {
+      flight_prefix = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -119,17 +139,36 @@ int main(int argc, char** argv) {
 
   performa::obs::init_trace_from_env();
   performa::obs::init_metrics_from_env();
+  performa::obs::init_log_from_env();
+  if (!flight_prefix.empty()) {
+    performa::obs::init_flight(flight_prefix);
+  } else {
+    performa::obs::init_flight_from_env();
+  }
 
   try {
     performa::daemon::Server server(std::move(config));
     server.install_signal_handlers();
+    PERFORMA_LOG(kInfo, "daemon.start")
+        .kv("socket", server.config().socket_path)
+        .kv("tcp_port", static_cast<std::int64_t>(server.config().tcp_port))
+        .kv("workers",
+            static_cast<std::uint64_t>(server.config().workers))
+        .kv("slow_query_s", server.config().engine.slow_query_seconds)
+        .kv("flight", performa::obs::flight_path());
+    // The human-facing line stays: scripts (and humans) watch for it.
     std::fprintf(stderr, "performad: listening on %s\n",
                  server.config().socket_path.c_str());
     const int rc = server.run();
     performa::obs::write_metrics_if_configured();
+    // A clean drain needs no post-mortem: remove the flight file so
+    // only crashed/killed daemons leave one behind.
+    performa::obs::disable_flight(/*keep_file=*/false);
     return rc;
   } catch (const std::exception& e) {
+    PERFORMA_LOG(kError, "daemon.fatal").kv("error", e.what());
     std::fprintf(stderr, "performad: fatal: %s\n", e.what());
+    performa::obs::disable_flight(/*keep_file=*/true);
     return 1;
   }
 }

@@ -5,12 +5,15 @@
 #include <cstdio>
 #include <thread>
 
+#include <optional>
+
 #include "core/blowup.h"
 #include "core/cluster_model.h"
 #include "core/qos.h"
 #include "linalg/errors.h"
 #include "medist/tpt.h"
 #include "obs/deadline.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qbd/solve_report.h"
@@ -36,17 +39,37 @@ obs::Histogram& solve_latency() {
   return h;
 }
 
-/// Uniform error response.
+/// Uniform error response; carries the thread's active query id.
 std::string error_response(const std::string& id, const std::string& op,
                            const std::string& outcome,
                            const std::string& message) {
   JsonWriter w;
   if (!id.empty()) w.field("id", id);
   if (!op.empty()) w.field("op", op);
+  if (!obs::current_query_id().empty()) {
+    w.field("qid", obs::current_query_id());
+  }
   w.field("ok", false);
   w.field("outcome", outcome);
   w.field("error", message);
   return std::move(w).str();
+}
+
+/// Compact residual trail for the slow-query log: one token per
+/// fallback-chain attempt, `algorithm:iterations:defect` with the
+/// winner starred -- the per-tier evidence the paper's near-blow-up
+/// pathologies show up in first.
+std::string solver_trail(const qbd::SolveReport& report) {
+  std::string out;
+  char buf[96];
+  for (const qbd::SolveAttempt& a : report.attempts) {
+    const bool won = a.converged && a.algorithm == report.winner;
+    std::snprintf(buf, sizeof buf, "%s%s%s:%uit:%.3e", out.empty() ? "" : " ",
+                  won ? "*" : "", qbd::to_string(a.algorithm), a.iterations,
+                  a.defect);
+    out += buf;
+  }
+  return out;
 }
 
 bool require_number(const JsonObject& request, const std::string& key,
@@ -212,7 +235,9 @@ std::string canonical_model_key(const ModelSpec& spec) {
 }
 
 QueryEngine::QueryEngine(EngineConfig config)
-    : config_(std::move(config)), cache_(config_.cache_budget_bytes) {
+    : config_(std::move(config)),
+      cache_(config_.cache_budget_bytes),
+      slow_query_seconds_(config_.slow_query_seconds) {
   if (!config_.journal_path.empty()) {
     journal_ = std::make_unique<CacheJournal>(config_.journal_path,
                                               config_.sync_journal);
@@ -250,10 +275,20 @@ std::string QueryEngine::handle(const JsonObject& request) {
   const std::string id = request.string("id", "");
   const std::string op = request.string("op", "");
 
+  // The daemon mints a query id at admission and installs the scope in
+  // its worker; a bare engine (tests, future embedders) mints its own
+  // here so every reply still carries one.
+  std::optional<obs::QueryIdScope> local_scope;
+  if (obs::current_query_id().empty()) {
+    local_scope.emplace(obs::mint_query_id());
+  }
+  const std::string qid = obs::current_query_id();
+
   if (op == "ping") {
     JsonWriter w;
     if (!id.empty()) w.field("id", id);
     w.field("op", op);
+    w.field("qid", qid);
     w.field("ok", true);
     w.field("outcome", "ok");
     return std::move(w).str();
@@ -265,6 +300,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     JsonWriter w;
     if (!id.empty()) w.field("id", id);
     w.field("op", op);
+    w.field("qid", qid);
     w.field("ok", true);
     w.field("outcome", "ok");
     w.field("cache_entries", static_cast<std::uint64_t>(cs.entries));
@@ -307,6 +343,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     JsonWriter w;
     if (!id.empty()) w.field("id", id);
     w.field("op", op);
+    w.field("qid", qid);
     w.field("ok", true);
     w.field("outcome", "ok");
     w.field("slept_s", seconds);
@@ -334,6 +371,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     JsonWriter w;
     if (!id.empty()) w.field("id", id);
     w.field("op", op);
+    w.field("qid", qid);
     w.field("ok", true);
     w.field("outcome", "ok");
     w.field("availability", spec.availability());
@@ -371,6 +409,40 @@ std::string QueryEngine::handle(const JsonObject& request) {
   std::string degrade_outcome;
   std::string degrade_message;
   double solve_seconds = -1.0;
+  std::optional<qbd::SolveReport> failure_report;
+
+  // Threshold-based slow-query log: a fresh solve that took at least
+  // slow_query_seconds (or blew its deadline) leaves one structured
+  // record carrying the per-tier solver trail, trust verdict and cache
+  // disposition, joined to the wire reply by the qid.
+  const auto maybe_log_slow = [&](const char* disposition) {
+    const double threshold =
+        slow_query_seconds_.load(std::memory_order_relaxed);
+    if (threshold <= 0.0) return;
+    const bool deadline_blown = degrade_outcome == "deadline-exceeded";
+    if (!deadline_blown && !(solve_seconds >= threshold)) return;
+    const qbd::SolveReport* rep =
+        failure_report              ? &*failure_report
+        : (cached && entry.solution) ? &entry.solution->report()
+                                     : nullptr;
+    std::string trust_text = "unknown";
+    if (cached && entry.solution) {
+      const qbd::TrustReport& tr = entry.solution->trust();
+      trust_text =
+          tr.verified ? std::string(qbd::to_string(tr.verdict)) : "unverified";
+    }
+    PERFORMA_LOG(kWarn, "daemon.slow_query")
+        .kv("op", op)
+        .kv("key", key)
+        .kv("solve_s", solve_seconds < 0.0 ? 0.0 : solve_seconds)
+        .kv("threshold_s", threshold)
+        .kv("outcome",
+            degrade_outcome.empty() ? std::string("ok") : degrade_outcome)
+        .kv("disposition", disposition)
+        .kv("trust", trust_text)
+        .kv("solver", rep ? rep->summary() : std::string("no-report"))
+        .kv("trail", rep ? solver_trail(*rep) : std::string());
+  };
 
   if (!cached || refresh) {
     try {
@@ -381,6 +453,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     } catch (const qbd::DeadlineExceeded& e) {
       degrade_outcome = "deadline-exceeded";
       degrade_message = e.what();
+      failure_report = e.report();
     } catch (const DeadlineError& e) {
       degrade_outcome = "deadline-exceeded";
       degrade_message = e.what();
@@ -393,6 +466,10 @@ std::string QueryEngine::handle(const JsonObject& request) {
       // travels instead of the multi-line evidence.
       degrade_outcome = "rejected-answer";
       degrade_message = e.trust().summary();
+    } catch (const qbd::SolverFailure& e) {
+      degrade_outcome = "solver-failure";
+      degrade_message = e.what();
+      failure_report = e.report();
     } catch (const NumericalError& e) {
       degrade_outcome = "solver-failure";
       degrade_message = e.what();
@@ -415,9 +492,13 @@ std::string QueryEngine::handle(const JsonObject& request) {
         cached = true;
         stale = true;
         cache_.note_stale_serve();
+        maybe_log_slow("stale-fallback");
       } else {
+        maybe_log_slow("error");
         return error_response(id, op, degrade_outcome, degrade_message);
       }
+    } else if (solve_seconds >= 0.0) {
+      maybe_log_slow("solved");
     }
   }
 
@@ -429,6 +510,7 @@ std::string QueryEngine::handle(const JsonObject& request) {
     JsonWriter w;
     if (!id.empty()) w.field("id", id);
     w.field("op", op);
+    w.field("qid", qid);
     w.field("ok", true);
     w.field("outcome", stale ? degrade_outcome : std::string("ok"));
     w.field("stale", stale);
@@ -547,6 +629,10 @@ EngineStats QueryEngine::stats() const {
 
 void QueryEngine::set_cache_budget(std::size_t bytes) {
   cache_.set_budget_bytes(bytes);
+}
+
+void QueryEngine::set_slow_query_seconds(double seconds) {
+  slow_query_seconds_.store(seconds, std::memory_order_relaxed);
 }
 
 }  // namespace performa::daemon

@@ -14,6 +14,7 @@
 // back (a bad model spec has no meaningful stale answer).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,10 @@ struct EngineConfig {
   std::string journal_path;  ///< empty disables persistence
   bool sync_journal = true;  ///< fsync per journal append (crash-only default)
   bool debug_ops = false;    ///< enable the "debug-sleep" test op
+  /// A model op whose fresh solve takes at least this long (or blows
+  /// its deadline) emits a structured `daemon.slow_query` log record
+  /// with the full solver trail. <= 0 disables the slow-query log.
+  double slow_query_seconds = 1.0;
   /// Verification thresholds applied to every solve. A solve whose
   /// answer is rejected is answered with outcome "rejected-answer" and
   /// is never cached or journaled (the throw happens before either).
@@ -105,6 +110,9 @@ class QueryEngine {
   /// SIGHUP reload: apply a new cache budget.
   void set_cache_budget(std::size_t bytes);
 
+  /// SIGHUP reload: apply a new slow-query threshold (<= 0 disables).
+  void set_slow_query_seconds(double seconds);
+
  private:
   /// Build and solve the model (throws DeadlineExceeded /
   /// NumericalError / InvalidArgument), cache + journal the result.
@@ -117,6 +125,9 @@ class QueryEngine {
   std::mutex journal_mutex_;
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
+  /// Reloadable copy of config_.slow_query_seconds (workers read it
+  /// while SIGHUP writes it).
+  std::atomic<double> slow_query_seconds_;
 };
 
 }  // namespace performa::daemon

@@ -21,7 +21,9 @@
 
 #include "linalg/errors.h"
 #include "obs/deadline.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace performa::daemon {
@@ -35,11 +37,13 @@ double seconds_since(Clock::time_point t0) {
 }
 
 std::string simple_response(const std::string& id, const std::string& op,
-                            bool ok, const std::string& outcome,
+                            const std::string& qid, bool ok,
+                            const std::string& outcome,
                             const std::string& message = "") {
   JsonWriter w;
   if (!id.empty()) w.field("id", id);
   if (!op.empty()) w.field("op", op);
+  if (!qid.empty()) w.field("qid", qid);
   w.field("ok", ok);
   w.field("outcome", outcome);
   if (!message.empty()) w.field("error", message);
@@ -111,6 +115,8 @@ bool parse_config_file(const std::string& path, DaemonConfig& config,
       next.max_deadline_s = v;
     } else if (key == "watchdog_grace_s") {
       next.watchdog_grace_s = v;
+    } else if (key == "slow_query_s") {
+      next.engine.slow_query_seconds = v;
     } else {
       error = path + ":" + std::to_string(lineno) + ": unknown key '" + key +
               "' (the whole file is rejected; fix or remove the line)";
@@ -129,11 +135,11 @@ struct Server::Connection {
   std::mutex write_mutex;
   std::atomic<bool> open{true};
 
-  void send_line(const std::string& line) {
+  void send_line(const std::string& line) { send_raw(line + '\n'); }
+
+  void send_raw(const std::string& out) {
     std::lock_guard<std::mutex> lock(write_mutex);
     if (!open.load()) return;
-    std::string out = line;
-    out += '\n';
     std::size_t sent = 0;
     while (sent < out.size()) {
       const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
@@ -153,6 +159,7 @@ struct Server::Request {
   JsonObject body;
   std::string id;
   std::string op;
+  std::string qid;  ///< query id minted at admission
   obs::Deadline deadline;
   Clock::time_point enqueued_at{};
   /// Whoever flips this false->true owns the response (worker on
@@ -294,11 +301,10 @@ int Server::run() {
 
   const JournalLoad recovered = engine_.rehydrate();
   if (recovered.records > 0 || recovered.dropped_records > 0) {
-    std::fprintf(stderr,
-                 "performad: journal rehydrated: %zu entries (%zu records, "
-                 "%zu dropped)\n",
-                 recovered.entries.size(), recovered.records,
-                 recovered.dropped_records);
+    PERFORMA_LOG(kInfo, "daemon.journal_rehydrated")
+        .kv("entries", static_cast<std::uint64_t>(recovered.entries.size()))
+        .kv("records", static_cast<std::uint64_t>(recovered.records))
+        .kv("dropped", static_cast<std::uint64_t>(recovered.dropped_records));
   }
 
   impl_->unix_fd = open_unix_listener(config_.socket_path);
@@ -350,9 +356,9 @@ int Server::run() {
   try {
     engine_.compact_journal();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "performad: journal compaction failed: %s\n",
-                 e.what());
+    PERFORMA_LOG(kError, "daemon.compact_failed").kv("error", e.what());
   }
+  PERFORMA_LOG(kInfo, "daemon.drained");
   return 0;
 }
 
@@ -430,7 +436,7 @@ void Server::io_loop() {
       }
       conn->buffer.append(buf, static_cast<std::size_t>(n));
       if (conn->buffer.size() > (std::size_t{1} << 20)) {
-        conn->send_line(simple_response("", "", false, "parse-error",
+        conn->send_line(simple_response("", "", "", false, "parse-error",
                                         "request line exceeds 1 MiB"));
         dead.push_back(fds[i].fd);
         continue;
@@ -461,13 +467,51 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
                            const std::string& line) {
   static obs::Counter& requests = obs::counter("daemon.requests");
   static obs::Counter& shed = obs::counter("daemon.queue.shed");
+  static obs::Counter& scrapes = obs::counter("daemon.scrapes");
   static obs::Gauge& depth = obs::gauge("daemon.queue.depth");
+  if (!conn->open.load()) return;  // trailing HTTP header lines
+
+  // HTTP-ish plane: a Prometheus scraper speaks `GET /metrics` at the
+  // TCP listener. One minimal HTTP/1.0 exchange per connection -- the
+  // exposition is rendered on the IO thread (snapshot + string build,
+  // no solver work) and the connection closes, exactly the lifecycle a
+  // scraper expects. Anything else GET-shaped gets a 404.
+  if (line.rfind("GET ", 0) == 0) {
+    const std::size_t path_end = line.find(' ', 4);
+    const std::string target =
+        line.substr(4, path_end == std::string::npos ? std::string::npos
+                                                     : path_end - 4);
+    std::string body;
+    const char* status = "404 Not Found";
+    if (target == "/metrics") {
+      scrapes.add(1);
+      body = obs::prometheus_metrics();
+      status = "200 OK";
+    } else {
+      body = "performad: unknown path " + target + "\n";
+    }
+    std::string reply = "HTTP/1.0 ";
+    reply += status;
+    reply +=
+        "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+        "\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    reply += body;
+    conn->send_raw(reply);
+    conn->open.store(false);  // IO loop reaps the fd after this batch
+    return;
+  }
+
   requests.add(1);
+  // Query identity starts here: every reply this line provokes --
+  // including parse errors and sheds -- carries a fresh qid that
+  // matching log lines, spans and flight records also carry.
+  const std::string qid = obs::mint_query_id();
 
   JsonObject body;
   std::string parse_error;
   if (!parse_json_object(line, body, parse_error)) {
-    conn->send_line(simple_response("", "", false, "parse-error",
+    conn->send_line(simple_response("", "", qid, false, "parse-error",
                                     parse_error));
     return;
   }
@@ -477,28 +521,28 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
   // Liveness plane: answered on the IO thread so probes keep working
   // while every worker is wedged or the queue is full.
   if (op == "healthz") {
-    conn->send_line(simple_response(id, op, true, "ok"));
+    conn->send_line(simple_response(id, op, qid, true, "ok"));
     return;
   }
   if (op == "readyz") {
     const bool ok = ready_.load() && !draining_.load();
-    conn->send_line(simple_response(id, op, ok, ok ? "ok" : "not-ready"));
+    conn->send_line(simple_response(id, op, qid, ok, ok ? "ok" : "not-ready"));
     return;
   }
   if (op == "reload") {
     request_reload();
-    conn->send_line(simple_response(id, op, true, "ok"));
+    conn->send_line(simple_response(id, op, qid, true, "ok"));
     return;
   }
   if (op == "shutdown") {
-    conn->send_line(simple_response(id, op, true, "ok"));
+    conn->send_line(simple_response(id, op, qid, true, "ok"));
     request_shutdown();
     return;
   }
 
   if (draining_.load()) {
     shed.add(1);
-    conn->send_line(simple_response(id, op, false, "overloaded",
+    conn->send_line(simple_response(id, op, qid, false, "overloaded",
                                     "daemon is draining"));
     return;
   }
@@ -508,6 +552,7 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
   request->body = std::move(body);
   request->id = id;
   request->op = op;
+  request->qid = qid;
   double deadline_s = config_.default_deadline_s;
   const JsonValue* dl = request->body.find("deadline_ms");
   if (dl != nullptr && dl->kind == JsonValue::Kind::kNumber) {
@@ -521,8 +566,13 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(impl_->queue_mutex);
     if (impl_->queue.size() >= config_.queue_capacity) {
       shed.add(1);
+      PERFORMA_LOG(kWarn, "daemon.overloaded")
+          .kv("qid", qid)
+          .kv("op", op)
+          .kv("queue_capacity",
+              static_cast<std::uint64_t>(config_.queue_capacity));
       conn->send_line(simple_response(
-          id, op, false, "overloaded",
+          id, op, qid, false, "overloaded",
           "admission queue full (" + std::to_string(config_.queue_capacity) +
               " waiting); retry with backoff"));
       return;
@@ -579,10 +629,18 @@ void Server::handle_request(const std::shared_ptr<Request>& request,
 
   std::string response;
   try {
+    // The qid scope makes every log line, span and SolveReport produced
+    // by this solve carry the request's query id; the deadline scope
+    // bounds the work.
+    obs::QueryIdScope qid_scope(request->qid);
     obs::DeadlineScope scope(request->deadline);
     response = engine_.handle(request->body);
   } catch (const std::exception& e) {
-    response = simple_response(request->id, request->op, false,
+    PERFORMA_LOG(kError, "daemon.request_failed")
+        .kv("qid", request->qid)
+        .kv("op", request->op)
+        .kv("error", e.what());
+    response = simple_response(request->id, request->op, request->qid, false,
                                "solver-failure", e.what());
   }
 
@@ -627,6 +685,10 @@ void Server::watchdog_loop() {
         request->watchdog_kicked = true;
         request->kicked_at = Clock::now();
         cancelled.add(1);
+        PERFORMA_LOG(kWarn, "daemon.watchdog_cancelled")
+            .kv("qid", request->qid)
+            .kv("op", request->op)
+            .kv("grace_s", grace);
         continue;
       }
       if (seconds_since(request->kicked_at) < grace) continue;
@@ -637,13 +699,18 @@ void Server::watchdog_loop() {
       // exits quietly whenever it finally returns.
       if (!request->completed.exchange(true)) {
         request->conn->send_line(simple_response(
-            request->id, request->op, false, "deadline-exceeded",
+            request->id, request->op, request->qid, false,
+            "deadline-exceeded",
             "watchdog: solve ignored its deadline; worker abandoned"));
         impl_->inflight.fetch_sub(1);
         inflight_gauge.set(static_cast<double>(impl_->inflight.load()));
       }
       slot->retired.store(true);
       abandoned.add(1);
+      PERFORMA_LOG(kError, "daemon.watchdog_abandoned")
+          .kv("qid", request->qid)
+          .kv("op", request->op)
+          .kv("grace_s", grace);
       {
         std::lock_guard<std::mutex> lock(impl_->slots_mutex);
         auto fresh = std::make_unique<WorkerSlot>();
@@ -659,15 +726,14 @@ void Server::apply_reload() {
   static obs::Counter& reloads = obs::counter("daemon.reloads");
   reloads.add(1);
   if (config_.config_path.empty()) {
-    std::fprintf(stderr,
-                 "performad: SIGHUP received but no --config file to "
-                 "reload\n");
+    PERFORMA_LOG(kWarn, "daemon.reload_skipped")
+        .kv("reason", "SIGHUP received but no --config file to reload");
     return;
   }
   DaemonConfig next = config_;
   std::string error;
   if (!parse_config_file(config_.config_path, next, error)) {
-    std::fprintf(stderr, "performad: reload rejected: %s\n", error.c_str());
+    PERFORMA_LOG(kError, "daemon.reload_rejected").kv("error", error);
     return;
   }
   config_.default_deadline_s = next.default_deadline_s;
@@ -678,11 +744,16 @@ void Server::apply_reload() {
     config_.engine.cache_budget_bytes = next.engine.cache_budget_bytes;
     engine_.set_cache_budget(next.engine.cache_budget_bytes);
   }
-  std::fprintf(stderr,
-               "performad: config reloaded (cache budget %zu bytes, default "
-               "deadline %.3fs, watchdog grace %.3fs)\n",
-               config_.engine.cache_budget_bytes, config_.default_deadline_s,
-               config_.watchdog_grace_s);
+  if (next.engine.slow_query_seconds != config_.engine.slow_query_seconds) {
+    config_.engine.slow_query_seconds = next.engine.slow_query_seconds;
+    engine_.set_slow_query_seconds(next.engine.slow_query_seconds);
+  }
+  PERFORMA_LOG(kInfo, "daemon.config_reloaded")
+      .kv("cache_budget_bytes",
+          static_cast<std::uint64_t>(config_.engine.cache_budget_bytes))
+      .kv("default_deadline_s", config_.default_deadline_s)
+      .kv("watchdog_grace_s", config_.watchdog_grace_s)
+      .kv("slow_query_s", config_.engine.slow_query_seconds);
 }
 
 }  // namespace performa::daemon

@@ -56,9 +56,9 @@ struct DaemonConfig {
 
 /// Parse a `key = value` config file (one pair per line, '#' comments)
 /// into overrides on `config`. Recognized keys: cache_budget_bytes,
-/// default_deadline_s, max_deadline_s, watchdog_grace_s. Unknown keys
-/// are reported in `error` (first offender) and the file is rejected
-/// wholesale -- a typo must not silently half-apply.
+/// default_deadline_s, max_deadline_s, watchdog_grace_s, slow_query_s.
+/// Unknown keys are reported in `error` (first offender) and the file
+/// is rejected wholesale -- a typo must not silently half-apply.
 bool parse_config_file(const std::string& path, DaemonConfig& config,
                        std::string& error);
 

@@ -29,9 +29,19 @@ void Histogram::record(double v) noexcept {
   if (v > 0.0) {
     int exp = 0;
     std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
-    bucket = std::clamp(exp + 31, 0, kBuckets - 1);
+    bucket = std::max(exp + 31, 0);
   }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (bucket >= kBuckets) {
+    // Above the top finite edge (2^32): overflow bin, tracking the max
+    // so quantiles there can report a real bound.
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    double cur_max = overflow_max_.load(std::memory_order_relaxed);
+    while (v > cur_max && !overflow_max_.compare_exchange_weak(
+                              cur_max, v, std::memory_order_relaxed)) {
+    }
+  } else {
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
@@ -59,13 +69,18 @@ double Histogram::quantile(double q) const noexcept {
       return std::ldexp(1.0, b - 31);  // bucket upper bound
     }
   }
-  return std::ldexp(1.0, kBuckets - 32);
+  // The quantile falls in the overflow bin: the largest sample seen
+  // there is an exact upper bound on it.
+  const double omax = overflow_max();
+  return omax > 0.0 ? omax : std::ldexp(1.0, kBuckets - 32);
 }
 
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  overflow_max_.store(0.0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -147,9 +162,11 @@ std::string MetricsSnapshot::to_json() const {
         out += "histogram\"";
         std::snprintf(buf, sizeof buf,
                       ",\"count\":%llu,\"sum\":%.17g,\"mean\":%.17g"
-                      ",\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g",
+                      ",\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g"
+                      ",\"overflow\":%llu",
                       static_cast<unsigned long long>(e.count), e.sum, e.value,
-                      e.p50, e.p90, e.p99);
+                      e.p50, e.p90, e.p99,
+                      static_cast<unsigned long long>(e.overflow));
         out += buf;
         break;
     }
@@ -183,6 +200,10 @@ MetricsSnapshot snapshot_metrics() {
       e.p50 = h.quantile(0.5);
       e.p90 = h.quantile(0.9);
       e.p99 = h.quantile(0.99);
+      e.buckets.resize(Histogram::kBuckets);
+      for (int b = 0; b < Histogram::kBuckets; ++b) e.buckets[b] = h.bucket(b);
+      e.overflow = h.overflow();
+      e.overflow_max = h.overflow_max();
     }
     snap.entries.push_back(std::move(e));
   }

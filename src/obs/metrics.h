@@ -67,9 +67,14 @@ class Gauge {
 /// Power-of-two-bucketed histogram of non-negative samples (latencies,
 /// sizes). Bucket b holds samples in [2^(b-32), 2^(b-31)), so the
 /// usable range spans ~2^-32 .. 2^31 with <= 2x relative quantile
-/// error -- plenty for "where did the time go" diagnostics. Updates
-/// are relaxed atomics; a snapshot taken concurrently with updates is
-/// a consistent-enough view (each bucket individually exact).
+/// error -- plenty for "where did the time go" diagnostics. Samples at
+/// or above the top bucket edge (2^32) land in an explicit overflow
+/// bin that also tracks the largest sample seen, so quantiles falling
+/// there report a true upper bound instead of silently clamping to the
+/// last finite edge (and the Prometheus mapping gets an honest +Inf
+/// bucket). Updates are relaxed atomics; a snapshot taken concurrently
+/// with updates is a consistent-enough view (each bucket individually
+/// exact).
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -81,10 +86,19 @@ class Histogram {
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
   double mean() const noexcept;
   /// Upper bound of the bucket holding the q-quantile (q in [0,1]);
-  /// 0 when empty.
+  /// 0 when empty. A quantile landing in the overflow bin reports the
+  /// largest sample recorded there (an exact bound, not a bucket edge).
   double quantile(double q) const noexcept;
   std::uint64_t bucket(int b) const noexcept {
     return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Samples >= 2^32 (above the top finite bucket).
+  std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  /// Largest overflow sample seen; 0 when the overflow bin is empty.
+  double overflow_max() const noexcept {
+    return overflow_max_.load(std::memory_order_relaxed);
   }
   void reset() noexcept;
 
@@ -92,6 +106,8 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<double> overflow_max_{0.0};
 };
 
 /// Registry lookup: returns the instrument registered under `name`,
@@ -111,6 +127,9 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;    ///< histogram sample count
     double sum = 0.0;           ///< histogram sample sum
     double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+    std::vector<std::uint64_t> buckets;  ///< histogram per-bucket counts
+    std::uint64_t overflow = 0;          ///< samples above the top bucket
+    double overflow_max = 0.0;           ///< largest overflow sample
   };
   std::vector<Entry> entries;  ///< sorted by name
 

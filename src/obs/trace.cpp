@@ -10,6 +10,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight.h"
+#include "obs/log.h"
+
 namespace performa::obs {
 
 namespace detail {
@@ -301,6 +304,16 @@ void Span::finish() noexcept {
   ev.pid = static_cast<int>(::getpid());
   ev.tid = thread_id();
   ev.args = std::move(args_);
+  // Spans produced while a query id is in scope carry it, joining the
+  // trace against log lines, wire replies and flight dumps.
+  const std::string& qid = current_query_id();
+  if (!qid.empty()) append_json_kv(ev.args, "qid", qid);
+  // The flight ring sees completed spans immediately (the thread
+  // buffer may never flush before a crash).
+  if (flight_enabled()) {
+    const std::string line = serialize(ev);
+    flight_record(line.data(), line.size() - 1);  // minus trailing comma
+  }
   ThreadBuffer& buffer = thread_buffer();
   buffer.events.push_back(std::move(ev));
   if (buffer.events.size() >= kFlushThreshold) buffer.flush();
@@ -341,6 +354,10 @@ void append_json_kv(std::string& out, const char* key, double value) {
   char buf[96];
   std::snprintf(buf, sizeof buf, ",\"%s\":%.6g", key, value);
   out += buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& value) {
+  append_escaped(out, value);
 }
 
 }  // namespace performa::obs

@@ -164,4 +164,8 @@ void append_json_kv(std::string& out, const char* key,
                     const std::string& value);
 void append_json_kv(std::string& out, const char* key, double value);
 
+/// Append `value` JSON-string-escaped (no surrounding quotes); shared
+/// with the structured-log serializer.
+void append_json_escaped(std::string& out, const std::string& value);
+
 }  // namespace performa::obs

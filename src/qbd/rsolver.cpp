@@ -10,6 +10,7 @@
 #include "linalg/lu.h"
 #include "linalg/pool.h"
 #include "obs/deadline.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -404,6 +405,7 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
   blocks.validate();
 
   SolveReport report;
+  report.query_id = obs::current_query_id();
   // A request that arrives with its budget already spent must not buy
   // even the stability pre-check (one GTH solve): abort immediately so
   // the serving layer can degrade to a cached answer.
@@ -440,7 +442,17 @@ RSolveResult solve_r(const QbdBlocks& blocks, const SolverOptions& opts) {
   }
 
   for (std::size_t i = 0; i < chain.size(); ++i) {
-    if (i > 0) fallbacks.add();
+    if (i > 0) {
+      fallbacks.add();
+      // The previous tier's failure note is in the report; a fallback
+      // is the first sign of the near-blow-up pathology the slow-query
+      // log exists to surface, so say so as it happens.
+      PERFORMA_LOG(kWarn, "qbd.rsolver.fallback")
+          .kv("tier", qbd::to_string(chain[i]))
+          .kv("prev_tier", qbd::to_string(chain[i - 1]))
+          .kv("prev_note", report.attempts.back().note)
+          .kv("utilization", report.utilization);
+    }
     Candidate c;
     try {
       c = run_tier(chain[i], blocks, opts, /*is_fallback=*/i > 0);

@@ -31,6 +31,11 @@ std::string SolveReport::to_string() const {
                 final_defect, final_defect_raw, spectral_radius, condition,
                 utilization);
   out += line;
+  if (!query_id.empty()) {
+    out += "  qid=";
+    out += query_id;
+    out += '\n';
+  }
   for (const SolveAttempt& a : attempts) {
     std::snprintf(line, sizeof line,
                   "  attempt %-24s it=%-6u defect=%.3e t=%.3fs %s%s",

@@ -51,6 +51,10 @@ struct SolveReport {
   double spectral_radius = 0.0;  ///< sp(R) estimate (caudal characteristic)
   double condition = 0.0;        ///< kappa_1 estimate of the final linear solve
   double utilization = 0.0;      ///< mean-drift rho from the pre-check
+  /// Query id active when the solve started (obs::current_query_id());
+  /// empty outside a request scope. Joins this report against daemon
+  /// wire replies, slow-query log records and flight-recorder dumps.
+  std::string query_id;
   std::vector<SolveAttempt> attempts;
 
   /// Multi-line human-readable rendering (perfctl --report).

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "linalg/errors.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/random.h"
@@ -217,10 +218,16 @@ SweepResult run_sweep(const std::string& name,
     open_checkpoint(options.checkpoint_path, name);
     if (options.resume) {
       prior = load_checkpoint(options.checkpoint_path);
-      if (options.verbose && prior.dropped_records > 0) {
-        std::fprintf(stderr,
-                     "[sweep %s] dropped %zu torn checkpoint record(s)\n",
-                     name.c_str(), prior.dropped_records);
+      if (prior.dropped_records > 0) {
+        PERFORMA_LOG(kWarn, "sweep.checkpoint_torn")
+            .kv("sweep", name)
+            .kv("dropped",
+                static_cast<std::uint64_t>(prior.dropped_records));
+        if (options.verbose) {
+          std::fprintf(stderr,
+                       "[sweep %s] dropped %zu torn checkpoint record(s)\n",
+                       name.c_str(), prior.dropped_records);
+        }
       }
     }
   }
@@ -275,6 +282,15 @@ SweepResult run_sweep(const std::string& name,
 
   const auto attempt_note = [&](const SweepPointSpec& spec, unsigned attempt,
                                 const WorkerReport& report) {
+    if (report.outcome != Outcome::kOk) {
+      PERFORMA_LOG(kWarn, "sweep.attempt_failed")
+          .kv("sweep", name)
+          .kv("point", spec.id)
+          .kv("attempt", static_cast<std::uint64_t>(attempt))
+          .kv("outcome", to_string(report.outcome))
+          .kv("error", report.message)
+          .kv("elapsed_s", report.elapsed_seconds);
+    }
     if (options.verbose) {
       std::fprintf(stderr, "[sweep %s] %s: attempt %u -> %s (%s)\n",
                    name.c_str(), spec.id.c_str(), attempt,

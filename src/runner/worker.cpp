@@ -15,6 +15,8 @@
 #include <string>
 
 #include "linalg/errors.h"
+#include "obs/flight.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "runner/sweep.h"
 
@@ -172,10 +174,19 @@ WorkerHandle spawn_worker(const PointFn& fn) {
   // agree on it without communicating: the child writes its spans there,
   // the supervisor merges the file back on reap. File-sink tracing only;
   // a memory sink has no path a child could hand back.
+  static std::atomic<std::uint64_t> seq{0};
   if (obs::trace_enabled() && !obs::trace_file_path().empty()) {
-    static std::atomic<std::uint64_t> seq{0};
     handle.trace_fragment = obs::trace_file_path() + ".frag." +
                             std::to_string(seq.fetch_add(1));
+  }
+  // Same protocol for the structured log: a file-sink parent hands the
+  // child a private fragment so their write(2) offsets never fight.
+  // (A stderr-sink parent needs nothing: O_APPEND-less tty writes from
+  // two pids interleave only at line granularity, which single-write
+  // lines already guarantee.)
+  if (!obs::log_file_path().empty()) {
+    handle.log_fragment = obs::log_file_path() + ".frag." +
+                          std::to_string(seq.fetch_add(1));
   }
 
   const pid_t pid = ::fork();
@@ -199,6 +210,12 @@ WorkerHandle spawn_worker(const PointFn& fn) {
         obs::disable_trace();  // cannot open the fragment: run untraced
       }
     }
+    if (!handle.log_fragment.empty()) {
+      obs::reopen_log_in_child(handle.log_fragment);
+    }
+    // A crashed worker leaves its own flight file (under the child's
+    // pid); a clean one removes it below.
+    obs::reopen_flight_in_child();
     int code = kExitError;
     try {
       PointResult result;
@@ -217,6 +234,7 @@ WorkerHandle spawn_worker(const PointFn& fn) {
     // (disable_trace also fcloses the fragment file).
     obs::flush_trace();
     obs::disable_trace();
+    obs::disable_flight(/*keep_file=*/false);  // clean exit: no evidence
     ::close(fds[1]);
     ::_exit(code);
   }
@@ -268,6 +286,10 @@ WorkerReport reap_worker(WorkerHandle& worker, bool timed_out,
   if (!worker.trace_fragment.empty()) {
     obs::merge_trace_fragment(worker.trace_fragment);
     worker.trace_fragment.clear();
+  }
+  if (!worker.log_fragment.empty()) {
+    obs::merge_log_fragment(worker.log_fragment);
+    worker.log_fragment.clear();
   }
 
   WorkerReport report =

@@ -59,6 +59,7 @@ struct WorkerHandle {
   bool eof = false;        ///< worker closed its end (exit or kill)
   std::chrono::steady_clock::time_point started{};
   std::string trace_fragment;  ///< worker-private trace file, merged on reap
+  std::string log_fragment;    ///< worker-private log file, merged on reap
 
   bool running() const noexcept { return pid > 0; }
 };
